@@ -1,0 +1,238 @@
+// bench_test.go maps every figure of the paper's evaluation (§5) to a
+// testing.B benchmark, plus ablation benches for the design choices
+// DESIGN.md calls out. The figure benches drive the same benchkit
+// harness as cmd/benchfig, at a compressed time scale; regenerating the
+// actual curves is cmd/benchfig's job.
+package tps_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/benchkit"
+	"github.com/tps-p2p/tps/internal/core/codec"
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/srapp"
+)
+
+func benchProfile() benchkit.Profile { return benchkit.Paper2001(0.001) }
+
+func benchCluster(b *testing.B, stack benchkit.Stack, pubs, subs int) *benchkit.Cluster {
+	b.Helper()
+	c, err := benchkit.NewCluster(benchkit.Config{
+		Stack: stack, Publishers: pubs, Subscribers: subs, Profile: benchProfile(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// BenchmarkFig18InvocationTime measures the publisher's per-event send
+// cost (the paper's Figure 18) for each stack and subscriber count.
+// ns/op is the invocation time.
+func BenchmarkFig18InvocationTime(b *testing.B) {
+	for _, stack := range benchkit.DefaultStacks {
+		for _, subs := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/%dsub", stack, subs), func(b *testing.B) {
+				c := benchCluster(b, stack, 1, subs)
+				offer := c.Offer(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := c.Pubs[0].Publish(offer); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				c.WaitQuiesce(30 * time.Second)
+			})
+		}
+	}
+}
+
+// BenchmarkFig19PublisherThroughput reports the send-side event rate
+// (the paper's Figure 19) as events/sec.
+func BenchmarkFig19PublisherThroughput(b *testing.B) {
+	for _, stack := range benchkit.DefaultStacks {
+		for _, subs := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/%dsub", stack, subs), func(b *testing.B) {
+				c := benchCluster(b, stack, 1, subs)
+				offer := c.Offer(0)
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if err := c.Pubs[0].Publish(offer); err != nil {
+						b.Fatal(err)
+					}
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				if elapsed > 0 {
+					b.ReportMetric(float64(b.N)/elapsed.Seconds(), "events/sec")
+				}
+				c.WaitQuiesce(30 * time.Second)
+			})
+		}
+	}
+}
+
+// BenchmarkFig20SubscriberThroughput floods the subscriber and reports
+// its drain rate (the paper's Figure 20) as events/sec. The receiver's
+// simulated processing cost bounds the rate, so the metric reflects the
+// saturation plateau, not the publish loop.
+func BenchmarkFig20SubscriberThroughput(b *testing.B) {
+	for _, stack := range benchkit.DefaultStacks {
+		for _, pubs := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/%dpub", stack, pubs), func(b *testing.B) {
+				c := benchCluster(b, stack, pubs, 1)
+				offer := c.Offer(0)
+				base := c.Subs[0].Received()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if err := c.Pubs[i%pubs].Publish(offer); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Drain: subscriber throughput is measured at the
+				// receiving side.
+				deadline := time.Now().Add(60 * time.Second)
+				for c.Subs[0].Received() < base+b.N && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				got := c.Subs[0].Received() - base
+				if elapsed > 0 {
+					b.ReportMetric(float64(got)/elapsed.Seconds(), "events/sec")
+				}
+			})
+		}
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAblationCodec compares the gob and json event codecs (the
+// "common type model" tax, §3.2/§6).
+func BenchmarkAblationCodec(b *testing.B) {
+	offer := srapp.Pad(srapp.SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}, 1710)
+	reg := typereg.New()
+	if _, err := reg.Register(reflect.TypeOf(srapp.SkiRental{}), nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []codec.Codec{codec.Gob{}, codec.JSON{}} {
+		c := c
+		b.Run("encode/"+c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Encode(offer); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		data, err := c.Encode(offer)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("decode/"+c.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			typ := reflect.TypeOf(srapp.SkiRental{})
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Decode(data, typ); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDedupe measures the duplicate-suppression cache on
+// the hot path (every delivered wire message pays one Observe).
+func BenchmarkAblationDedupe(b *testing.B) {
+	b.Run("all-new", func(b *testing.B) {
+		c := seen.New(seen.WithCapacity(1 << 20))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+		}
+	})
+	b.Run("all-duplicate", func(b *testing.B) {
+		c := seen.New()
+		id := jid.FromSeed(jid.KindMessage, 1)
+		c.Observe(id)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Observe(id)
+		}
+	})
+}
+
+// BenchmarkAblationSubtypeDispatch measures the Figure 7 delivery
+// predicate at increasing hierarchy depths.
+func BenchmarkAblationSubtypeDispatch(b *testing.B) {
+	type l0 struct{ A int }
+	type l1 struct{ A int }
+	type l2 struct{ A int }
+	type l3 struct{ A int }
+	reg := typereg.New()
+	types := []reflect.Type{
+		reflect.TypeOf(l0{}), reflect.TypeOf(l1{}),
+		reflect.TypeOf(l2{}), reflect.TypeOf(l3{}),
+	}
+	var parent *typereg.Node
+	nodes := make([]*typereg.Node, 0, len(types))
+	for _, t := range types {
+		n, err := reg.Register(t, parent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		parent = n
+	}
+	leaf := types[len(types)-1]
+	for depth, root := range nodes {
+		b.Run(fmt.Sprintf("depth%d", len(nodes)-1-depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !reg.Assignable(root, leaf) {
+					b.Fatal("leaf must be assignable to its ancestors")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMessageCodec measures the wire frame codec at the paper's
+// message size.
+func BenchmarkMessageCodec(b *testing.B) {
+	m := message.New(jid.FromSeed(jid.KindPeer, 1))
+	payload := make([]byte, 1910)
+	m.AddBytes("bench", "payload", payload)
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Marshal(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	frame, err := m.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := message.Unmarshal(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Command benchfig regenerates the evaluation of the paper: Figure 18
+// (invocation time), Figure 19 (publisher throughput), Figure 20
+// (subscriber throughput) and the §4.4 lines-of-code comparison.
+//
+//	go run ./cmd/benchfig                 # all figures, fast scale
+//	go run ./cmd/benchfig -fig 18         # one figure
+//	go run ./cmd/benchfig -paper          # full paper-scale durations
+//	go run ./cmd/benchfig -loc            # the §4.4 LoC table only
+//	go run ./cmd/benchfig -csv out/       # also write CSV per figure
+//
+// Absolute numbers will not match 2001 hardware; the shape — which
+// stack wins, by roughly what factor, and how participant counts bend
+// the curves — is the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/benchkit"
+	"github.com/tps-p2p/tps/internal/stats"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 0, "figure to run (18, 19 or 20); 0 = all")
+		paper = flag.Bool("paper", false, "paper-scale durations (Fig 20 runs 50 s per series)")
+		loc   = flag.Bool("loc", false, "print only the lines-of-code comparison")
+		csv   = flag.String("csv", "", "directory to write CSV files into")
+		scale = flag.Float64("scale", 0.01, "simulation time scale (ignored with -paper)")
+	)
+	flag.Parse()
+
+	if *loc {
+		if err := printLoC(); err != nil {
+			log.Println(err)
+			os.Exit(1)
+		}
+		return
+	}
+	s := *scale
+	if *paper {
+		s = 1.0
+	}
+	profile := benchkit.Paper2001(s)
+	run := func(n int) error {
+		switch n {
+		case 18:
+			return figure18(profile, *csv)
+		case 19:
+			return figure19(profile, *csv)
+		case 20:
+			return figure20(profile, s, *csv)
+		default:
+			return fmt.Errorf("unknown figure %d", n)
+		}
+	}
+	figs := []int{18, 19, 20}
+	if *fig != 0 {
+		figs = []int{*fig}
+	}
+	for _, n := range figs {
+		if err := run(n); err != nil {
+			log.Println(err)
+			os.Exit(1)
+		}
+	}
+	if err := printLoC(); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func figure18(profile benchkit.Profile, csvDir string) error {
+	fmt.Println("=== Figure 18: invocation time (ms per sendMessage call) ===")
+	series, err := benchkit.Figure18(benchkit.FigureConfig{
+		Profile: profile,
+		Stacks:  benchkit.DefaultStacks,
+		Counts:  []int{1, 4},
+		Events:  50,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats.Chart("Invocation time, 50 events", "event number", "ms/msg", series, 64, 14))
+	printRatios(series)
+	return writeCSV(csvDir, "fig18.csv", "event", series)
+}
+
+func figure19(profile benchkit.Profile, csvDir string) error {
+	fmt.Println("=== Figure 19: publisher throughput (messages sent per second) ===")
+	series, err := benchkit.Figure19(benchkit.FigureConfig{
+		Profile:   profile,
+		Stacks:    benchkit.DefaultStacks,
+		Counts:    []int{1, 4},
+		Events:    100,
+		EpochSize: 10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats.Chart("Publisher throughput, 100 events", "epoch", "msg snd/sec", series, 64, 14))
+	printRatios(series)
+	return writeCSV(csvDir, "fig19.csv", "epoch", series)
+}
+
+func figure20(profile benchkit.Profile, scale float64, csvDir string) error {
+	fmt.Println("=== Figure 20: subscriber throughput under flood (messages received per second) ===")
+	// The paper samples every second for 50 seconds while each publisher
+	// floods 10000 events; the window scales with the simulation.
+	window := time.Duration(float64(time.Second) * scale)
+	if window < 10*time.Millisecond {
+		window = 10 * time.Millisecond
+	}
+	events := 10000
+	if scale < 0.5 {
+		events = 4000 // still far beyond what the subscriber can drain
+	}
+	series, err := benchkit.Figure20(benchkit.FigureConfig{
+		Profile:     profile,
+		Stacks:      benchkit.DefaultStacks,
+		Counts:      []int{1, 4},
+		Events:      events,
+		Window:      window,
+		SampleCount: 50,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(stats.Chart("Subscriber throughput under flood", "sample window", "msg rcv/sec", series, 64, 14))
+	printRatios(series)
+	return writeCSV(csvDir, "fig20.csv", "second", series)
+}
+
+// printRatios prints the stack-vs-stack comparisons the paper draws
+// from each figure, using medians (robust against scheduler/GC spikes).
+func printRatios(series []stats.Series) {
+	medians := map[string]float64{}
+	for _, s := range series {
+		medians[s.Name] = stats.Median(s.Points)
+	}
+	find := func(sub string) (string, float64) {
+		for name, m := range medians {
+			if len(name) >= len(sub) && name[:len(sub)] == sub {
+				return name, m
+			}
+		}
+		return "", 0
+	}
+	type pair struct{ a, b string }
+	for _, p := range []pair{{"SR-TPS", "SR-JXTA"}, {"SR-JXTA", "JXTA-WIRE"}} {
+		// Compare within the same participant count: series names are
+		// "<stack> <n> xxx(s)".
+		for _, s := range series {
+			if name := s.Name; len(name) > len(p.a) && name[:len(p.a)] == p.a && name[len(p.a)] == ' ' {
+				suffix := name[len(p.a):]
+				if otherName, otherMedian := find(p.b + suffix); otherName != "" && otherMedian != 0 {
+					fmt.Printf("    %-28s vs %-28s median ratio %.3f\n", name, otherName, medians[name]/otherMedian)
+				}
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func writeCSV(dir, name, xHeader string, series []stats.Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := stats.WriteCSV(f, xHeader, series); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s\n\n", filepath.Join(dir, name))
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command rendezvous runs a standalone rendezvous/relay daemon over
+// TCP: the infrastructure peer that bridges sub-networks, tracks
+// connected peers and forwards traffic for firewalled ones. TPS event
+// groups of any type are served by the one daemon (it joins none of
+// them).
+//
+//	go run ./cmd/rendezvous -listen 0.0.0.0:9701
+//	go run ./cmd/rendezvous -listen 0.0.0.0:9702 -seed tcp://host-a:9701   # mesh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "0.0.0.0:9701", "TCP listen address")
+		seeds  = flag.String("seed", "", "comma-separated addresses of other rendezvous to mesh with")
+		name   = flag.String("name", "rendezvous", "peer name")
+		stats  = flag.Duration("stats", 30*time.Second, "stats print interval (0 disables)")
+	)
+	flag.Parse()
+	if err := run(*listen, *seeds, *name, *stats); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, seeds, name string, statsEvery time.Duration) error {
+	tr, err := tcpnet.Listen(listen)
+	if err != nil {
+		return err
+	}
+	var seedAddrs []endpoint.Address
+	if seeds != "" {
+		for _, s := range strings.Split(seeds, ",") {
+			seedAddrs = append(seedAddrs, endpoint.Address(strings.TrimSpace(s)))
+		}
+	}
+	p, err := peer.New(peer.Config{
+		Name:  name,
+		Role:  rendezvous.RoleRendezvous,
+		Seeds: seedAddrs,
+	}, tr)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	daemon, err := p.EnableDaemon()
+	if err != nil {
+		return err
+	}
+	defer daemon.Close()
+	fmt.Printf("rendezvous %s up on %v (peers seed with tcp://<this-host>:%s)\n",
+		p.ID().Short(), p.Addresses(), hostPort(listen))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	if statsEvery <= 0 {
+		<-stop
+		return nil
+	}
+	ticker := time.NewTicker(statsEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			rs := daemon.Rendezvous.Stats()
+			es := p.Endpoint().Stats()
+			fmt.Printf("clients=%d propagated=%d delivered=%d dup=%d | msgs in/out=%d/%d bytes in/out=%d/%d\n",
+				rs.LeasesActive, rs.Propagated, rs.Delivered, rs.Duplicates,
+				es.MsgsIn, es.MsgsOut, es.BytesIn, es.BytesOut)
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		}
+	}
+}
+
+func hostPort(listen string) string {
+	if i := strings.LastIndex(listen, ":"); i >= 0 {
+		return listen[i+1:]
+	}
+	return listen
+}

@@ -1,0 +1,170 @@
+// Command tpsctl is the operator's Swiss-army knife for a live TPS/JXTA
+// mesh: discover advertisements, query peer health (PIP), and probe
+// event types — without writing a program.
+//
+//	tpsctl -seed tcp://rdv:9701 discover            # list PS.* event groups
+//	tpsctl -seed tcp://rdv:9701 discover -name 'PS.SkiRental*'
+//	tpsctl -seed tcp://rdv:9701 peerinfo tcp://host:9702
+//	tpsctl -seed tcp://rdv:9701 listen SkiRental    # dump raw events of a type group
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:0", "local TCP listen address")
+		seeds  = flag.String("seed", "", "comma-separated rendezvous addresses (required)")
+		name   = flag.String("name", "PS.*", "advertisement name pattern (discover)")
+		wait   = flag.Duration("wait", 2*time.Second, "how long to collect discovery responses")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: tpsctl [flags] discover | peerinfo <addr> | listen <type>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Args()[1:], *listen, *seeds, *name, *wait); err != nil {
+		log.Println(err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, args []string, listen, seeds, namePat string, wait time.Duration) error {
+	if seeds == "" {
+		return fmt.Errorf("-seed is required")
+	}
+	tr, err := tcpnet.Listen(listen)
+	if err != nil {
+		return err
+	}
+	var seedAddrs []endpoint.Address
+	for _, s := range strings.Split(seeds, ",") {
+		seedAddrs = append(seedAddrs, endpoint.Address(strings.TrimSpace(s)))
+	}
+	p, err := peer.New(peer.Config{Name: "tpsctl", Seeds: seedAddrs}, tr)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	net := p.NetGroup()
+	if !net.AwaitRendezvous(10 * time.Second) {
+		return fmt.Errorf("no rendezvous reachable at %s", seeds)
+	}
+
+	switch cmd {
+	case "discover":
+		return discover(p, namePat, wait)
+	case "peerinfo":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: tpsctl peerinfo <addr>")
+		}
+		return peerInfo(p, endpoint.Address(args[0]))
+	case "listen":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: tpsctl listen <type-name>")
+		}
+		return listenType(p, args[0], wait)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func discover(p *peer.Peer, pattern string, wait time.Duration) error {
+	net := p.NetGroup()
+	if err := net.Discovery.GetRemoteAdvertisements(adv.Group, "Name", pattern, 50); err != nil {
+		return err
+	}
+	time.Sleep(wait)
+	recs := net.Discovery.GetLocalAdvertisements(adv.Group, "Name", pattern)
+	if len(recs) == 0 {
+		fmt.Println("no advertisements found")
+		return nil
+	}
+	fmt.Printf("%-28s %-12s %-12s %s\n", "NAME", "GROUP", "PUBLISHER", "WIRE PIPE")
+	for _, rec := range recs {
+		pg, ok := rec.Adv.(*adv.PeerGroupAdv)
+		if !ok {
+			continue
+		}
+		pipe := "-"
+		if svc, ok := pg.Service(wire.ServiceName); ok && svc.Pipe != nil {
+			pipe = svc.Pipe.PipeID.Short()
+		}
+		fmt.Printf("%-28s %-12s %-12s %s\n", pg.Name, pg.GroupID.Short(), pg.PeerID.Short(), pipe)
+	}
+	return nil
+}
+
+func peerInfo(p *peer.Peer, addr endpoint.Address) error {
+	info, err := p.NetGroup().PeerInfo.Query(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("peer      %s\n", info.PeerID)
+	fmt.Printf("uptime    %v\n", info.Uptime().Round(time.Second))
+	fmt.Printf("msgs      in=%d out=%d\n", info.MsgsIn, info.MsgsOut)
+	fmt.Printf("bytes     in=%d out=%d\n", info.BytesIn, info.BytesOut)
+	if info.LastInUnixMS > 0 {
+		fmt.Printf("last in   %v\n", time.UnixMilli(info.LastInUnixMS).Format(time.RFC3339))
+	}
+	if info.LastOutUnixMS > 0 {
+		fmt.Printf("last out  %v\n", time.UnixMilli(info.LastOutUnixMS).Format(time.RFC3339))
+	}
+	return nil
+}
+
+func listenType(p *peer.Peer, typeName string, wait time.Duration) error {
+	net := p.NetGroup()
+	pattern := "PS." + typeName + "*"
+	if err := net.Discovery.GetRemoteAdvertisements(adv.Group, "Name", pattern, 50); err != nil {
+		return err
+	}
+	time.Sleep(wait)
+	recs := net.Discovery.GetLocalAdvertisements(adv.Group, "Name", pattern)
+	if len(recs) == 0 {
+		return fmt.Errorf("no event group advertised for type %q", typeName)
+	}
+	count := 0
+	for _, rec := range recs {
+		pg, ok := rec.Adv.(*adv.PeerGroupAdv)
+		if !ok {
+			continue
+		}
+		g, pipeAdv, err := p.JoinGroupFromAdv(pg)
+		if err != nil {
+			continue
+		}
+		in, err := g.Wire.CreateInputPipe(pipeAdv)
+		if err != nil {
+			continue
+		}
+		groupName := pg.Name
+		in.SetListener(func(m *message.Message) {
+			fmt.Printf("[%s] event %s from %s, %d elements, %d bytes\n",
+				groupName, m.ID.Short(), m.Src.Short(), m.Len(), m.WireSize())
+		})
+		count++
+	}
+	if count == 0 {
+		return fmt.Errorf("could not join any event group for %q", typeName)
+	}
+	fmt.Printf("listening on %d group(s) for type %s; ctrl-C to stop\n", count, typeName)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	return nil
+}

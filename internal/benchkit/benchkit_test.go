@@ -1,0 +1,120 @@
+package benchkit
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/stats"
+)
+
+// fastProfile compresses the simulation so the whole suite runs in
+// seconds while preserving the ratios between stacks.
+func fastProfile() Profile { return Paper2001(0.002) }
+
+func newTestCluster(t *testing.T, stack Stack, pubs, subs int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{Stack: stack, Publishers: pubs, Subscribers: subs, Profile: fastProfile()})
+	if err != nil {
+		t.Fatalf("cluster %v: %v", stack, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestClusterDeliversOnAllStacks(t *testing.T) {
+	for _, stack := range DefaultStacks {
+		stack := stack
+		t.Run(stack.String(), func(t *testing.T) {
+			c := newTestCluster(t, stack, 1, 2)
+			base := c.ReceivedTotal()
+			const n = 5
+			for i := 0; i < n; i++ {
+				if err := c.Pubs[0].Publish(c.Offer(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for c.ReceivedTotal() < base+2*n {
+				if time.Now().After(deadline) {
+					t.Fatalf("delivered %d of %d", c.ReceivedTotal()-base, 2*n)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if got := c.Pubs[0].Sent(); got < n {
+				t.Fatalf("Sent = %d", got)
+			}
+		})
+	}
+}
+
+func TestInvocationTimeShape(t *testing.T) {
+	// The paper's headline: SR-TPS ≈ SR-JXTA, both ≥ raw WIRE.
+	means := map[Stack]float64{}
+	for _, stack := range DefaultStacks {
+		c := newTestCluster(t, stack, 1, 1)
+		points, err := InvocationTime(c, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(points) != 30 {
+			t.Fatalf("points = %d", len(points))
+		}
+		means[stack] = stats.Mean(points)
+	}
+	t.Logf("invocation means ms/msg: WIRE=%.4f SR-JXTA=%.4f SR-TPS=%.4f",
+		means[StackWire], means[StackSRJXTA], means[StackSRTPS])
+	// Allow generous tolerance: micro-benchmarks in CI jitter, but TPS
+	// being an order of magnitude slower than SR-JXTA would signal a
+	// layering bug.
+	if means[StackSRTPS] > means[StackSRJXTA]*5 {
+		t.Fatalf("SR-TPS invocation %fx slower than SR-JXTA", means[StackSRTPS]/means[StackSRJXTA])
+	}
+}
+
+func TestSubscriberThroughputSaturates(t *testing.T) {
+	// Figure 20's key shape: the subscriber's receive rate plateaus at
+	// its processing capacity no matter how fast the publisher floods.
+	c := newTestCluster(t, StackWire, 1, 1)
+	window := 50 * time.Millisecond
+	points, err := SubscriberThroughput(c, 2000, window, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(points[2:]) // skip ramp-up windows
+	// Capacity at scale 0.002: perMsg 120µs + 1910B/15MB/s ≈ 247µs
+	// ⇒ ≈4000/s. The observed plateau must be in that region, far below
+	// the flood rate.
+	if mean < 500 || mean > 20000 {
+		t.Fatalf("plateau %f events/s outside plausible band", mean)
+	}
+	t.Logf("subscriber plateau: %.0f events/s", mean)
+}
+
+func TestProfileScaling(t *testing.T) {
+	p1 := Paper2001(1.0)
+	p2 := Paper2001(0.1)
+	if p1.SubPerMsg != 10*p2.SubPerMsg {
+		t.Fatalf("SubPerMsg not scaled: %v vs %v", p1.SubPerMsg, p2.SubPerMsg)
+	}
+	if p2.SubBandwidth != 10*p1.SubBandwidth {
+		t.Fatalf("SubBandwidth not scaled inversely: %d vs %d", p1.SubBandwidth, p2.SubBandwidth)
+	}
+	if Paper2001(0).Scale != 1 {
+		t.Fatal("zero scale should default to 1")
+	}
+}
+
+func TestStackString(t *testing.T) {
+	if StackWire.String() != "JXTA-WIRE" || StackSRJXTA.String() != "SR-JXTA" || StackSRTPS.String() != "SR-TPS" {
+		t.Fatal("stack names diverge from the paper's legends")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(Config{Stack: StackWire}); err == nil {
+		t.Fatal("zero participants accepted")
+	}
+	if _, err := NewCluster(Config{Stack: Stack(99), Publishers: 1, Subscribers: 1, Profile: fastProfile()}); err == nil {
+		t.Fatal("unknown stack accepted")
+	}
+}

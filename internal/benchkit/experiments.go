@@ -1,0 +1,179 @@
+package benchkit
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/stats"
+)
+
+// experiments.go implements the three measurement protocols of §5.
+
+// InvocationTime reproduces Figure 18's protocol: the publisher produces
+// `events` events one after another and the time taken by each send call
+// is recorded (milliseconds per message). The paper uses 50 events.
+func InvocationTime(c *Cluster, events int) ([]float64, error) {
+	pub := c.Pubs[0]
+	out := make([]float64, 0, events)
+	for i := 0; i < events; i++ {
+		offer := c.Offer(i)
+		start := time.Now()
+		if err := pub.Publish(offer); err != nil {
+			return nil, fmt.Errorf("benchkit: invocation %d: %w", i, err)
+		}
+		out = append(out, float64(time.Since(start).Microseconds())/1000.0)
+	}
+	return out, nil
+}
+
+// PublisherThroughput reproduces Figure 19's protocol: the publisher
+// delivers `events` events and the send-side rate is sampled per epoch
+// of `epochSize` events (messages sent per second). The paper uses 100
+// events in 10 epochs.
+func PublisherThroughput(c *Cluster, events, epochSize int) ([]float64, error) {
+	pub := c.Pubs[0]
+	epochs := make([]float64, 0, events/epochSize)
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		if err := pub.Publish(c.Offer(i)); err != nil {
+			return nil, fmt.Errorf("benchkit: publish %d: %w", i, err)
+		}
+		if (i+1)%epochSize == 0 {
+			elapsed := time.Since(start)
+			if elapsed <= 0 {
+				elapsed = time.Nanosecond
+			}
+			epochs = append(epochs, float64(epochSize)/elapsed.Seconds())
+			start = time.Now()
+		}
+	}
+	return epochs, nil
+}
+
+// SubscriberThroughput reproduces Figure 20's protocol: every publisher
+// floods `perPublisher` events; the first subscriber's receive counter
+// is sampled every `window` for `samples` windows, yielding events
+// received per second. The paper floods 10000 events per publisher and
+// samples every second for 50 seconds.
+func SubscriberThroughput(c *Cluster, perPublisher int, window time.Duration, samples int) ([]float64, error) {
+	sub := c.Subs[0]
+	errCh := make(chan error, len(c.Pubs))
+	for _, pub := range c.Pubs {
+		go func(p Publisher) {
+			for i := 0; i < perPublisher; i++ {
+				if err := p.Publish(c.Offer(i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}(pub)
+	}
+	out := make([]float64, 0, samples)
+	prev := sub.Received()
+	for s := 0; s < samples; s++ {
+		time.Sleep(window)
+		now := sub.Received()
+		out = append(out, float64(now-prev)/window.Seconds())
+		prev = now
+	}
+	for range c.Pubs {
+		if err := <-errCh; err != nil {
+			return out, fmt.Errorf("benchkit: flood: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// FigureConfig selects participants for one figure run.
+type FigureConfig struct {
+	Profile     Profile
+	Stacks      []Stack
+	Counts      []int // subscriber counts (fig 18/19) or publisher counts (fig 20)
+	Events      int   // fig 18: events measured; fig 19: total events; fig 20: events per publisher
+	EpochSize   int   // fig 19
+	Window      time.Duration
+	SampleCount int // fig 20
+}
+
+// DefaultStacks is the paper's series order.
+var DefaultStacks = []Stack{StackWire, StackSRJXTA, StackSRTPS}
+
+// Figure18 measures invocation time for every (stack, subscriber count)
+// combination and returns one series per combination, named as in the
+// paper's legend.
+func Figure18(cfg FigureConfig) ([]stats.Series, error) {
+	var out []stats.Series
+	for _, count := range cfg.Counts {
+		for _, stack := range cfg.Stacks {
+			c, err := NewCluster(Config{
+				Stack: stack, Publishers: 1, Subscribers: count, Profile: cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig18 %v/%d subs: %w", stack, count, err)
+			}
+			points, err := InvocationTime(c, cfg.Events)
+			c.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig18 %v/%d subs: %w", stack, count, err)
+			}
+			out = append(out, stats.Series{
+				Name:   fmt.Sprintf("%s %d sub(s)", stack, count),
+				Points: points,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure19 measures publisher throughput per epoch for every (stack,
+// subscriber count) combination.
+func Figure19(cfg FigureConfig) ([]stats.Series, error) {
+	var out []stats.Series
+	for _, count := range cfg.Counts {
+		for _, stack := range cfg.Stacks {
+			c, err := NewCluster(Config{
+				Stack: stack, Publishers: 1, Subscribers: count, Profile: cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig19 %v/%d subs: %w", stack, count, err)
+			}
+			points, err := PublisherThroughput(c, cfg.Events, cfg.EpochSize)
+			c.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig19 %v/%d subs: %w", stack, count, err)
+			}
+			out = append(out, stats.Series{
+				Name:   fmt.Sprintf("%s %d sub(s)", stack, count),
+				Points: points,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure20 measures subscriber throughput for every (stack, publisher
+// count) combination.
+func Figure20(cfg FigureConfig) ([]stats.Series, error) {
+	var out []stats.Series
+	for _, count := range cfg.Counts {
+		for _, stack := range cfg.Stacks {
+			c, err := NewCluster(Config{
+				Stack: stack, Publishers: count, Subscribers: 1, Profile: cfg.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig20 %v/%d pubs: %w", stack, count, err)
+			}
+			points, err := SubscriberThroughput(c, cfg.Events, cfg.Window, cfg.SampleCount)
+			c.Close()
+			if err != nil {
+				return nil, fmt.Errorf("fig20 %v/%d pubs: %w", stack, count, err)
+			}
+			out = append(out, stats.Series{
+				Name:   fmt.Sprintf("%s %d pub(s)", stack, count),
+				Points: points,
+			})
+		}
+	}
+	return out, nil
+}

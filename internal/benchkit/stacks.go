@@ -1,0 +1,230 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/peergroup"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+	"github.com/tps-p2p/tps/internal/srapp"
+	"github.com/tps-p2p/tps/internal/srapp/srjxta"
+	"github.com/tps-p2p/tps/internal/srapp/srtps"
+)
+
+// --- JXTA-WIRE: the lower-bound reference stack ---
+//
+// No discovery, no advertisements, no duplicate handling, no typed
+// events: peers join one pre-agreed group, open the pre-agreed wire
+// pipe, and move gob-encoded bytes. This is what the paper compares
+// against "even if JXTA-WIRE alone is not comparable ... since it does
+// not insure the properties described in Section 4.4".
+
+var (
+	wireGroupID = jid.FromSeed(jid.KindGroup, 0xBE_EF)
+	wirePipeID  = jid.FromSeed(jid.KindPipe, 0xF0_0D)
+)
+
+func wirePipeAdv() *adv.PipeAdv {
+	return &adv.PipeAdv{PipeID: wirePipeID, Type: adv.PipePropagate, Name: "bench.wire"}
+}
+
+type wirePub struct {
+	out  *wire.OutputPipe
+	self jid.ID
+	sent atomic.Int64
+}
+
+func (w *wirePub) Publish(offer srapp.SkiRental) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(offer); err != nil {
+		return err
+	}
+	m := message.New(w.self)
+	m.AddBytes("bench", "payload", buf.Bytes())
+	if err := w.out.Send(m); err != nil {
+		return err
+	}
+	w.sent.Add(1)
+	return nil
+}
+
+func (w *wirePub) Sent() int { return int(w.sent.Load()) }
+
+type wireSub struct {
+	received atomic.Int64
+}
+
+func (w *wireSub) Received() int { return int(w.received.Load()) }
+
+func (c *Cluster) buildWire(pubAddrs []endpoint.Address) error {
+	for i := 0; i < c.cfg.Publishers; i++ {
+		node, err := c.pubNode(i)
+		if err != nil {
+			return err
+		}
+		p, err := newPeer(node.Name(), node, rendezvous.RoleRendezvous, nil)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, p.Close)
+		g, err := p.JoinGroup(peergroup.Config{ID: wireGroupID, Name: "bench.wire"})
+		if err != nil {
+			return err
+		}
+		out, err := g.Wire.CreateOutputPipe(wirePipeAdv())
+		if err != nil {
+			return err
+		}
+		c.Pubs = append(c.Pubs, &wirePub{out: out, self: p.ID()})
+	}
+	for j := 0; j < c.cfg.Subscribers; j++ {
+		node, err := c.subNode(j)
+		if err != nil {
+			return err
+		}
+		p, err := newPeer(node.Name(), node, rendezvous.RoleEdge, pubAddrs)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, p.Close)
+		g, err := p.JoinGroup(peergroup.Config{ID: wireGroupID, Name: "bench.wire"})
+		if err != nil {
+			return err
+		}
+		in, err := g.Wire.CreateInputPipe(wirePipeAdv())
+		if err != nil {
+			return err
+		}
+		sub := &wireSub{}
+		in.SetListener(func(*message.Message) { sub.received.Add(1) })
+		c.Subs = append(c.Subs, sub)
+	}
+	return nil
+}
+
+// --- SR-JXTA: the hand-written application ---
+
+type srjxtaPub struct{ app *srjxta.App }
+
+func (s *srjxtaPub) Publish(offer srapp.SkiRental) error { return s.app.Publish(offer) }
+func (s *srjxtaPub) Sent() int                           { return len(s.app.Sent()) }
+
+type srjxtaSub struct {
+	received atomic.Int64
+}
+
+func (s *srjxtaSub) Received() int { return int(s.received.Load()) }
+
+func (c *Cluster) buildSRJXTA(pubAddrs []endpoint.Address) error {
+	for i := 0; i < c.cfg.Publishers; i++ {
+		node, err := c.pubNode(i)
+		if err != nil {
+			return err
+		}
+		p, err := newPeer(node.Name(), node, rendezvous.RoleRendezvous, nil)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, p.Close)
+		if _, err := p.EnableDaemon(); err != nil {
+			return err
+		}
+		// The first publisher creates the type advertisement quickly;
+		// later ones find it through the mesh.
+		timeout := 300 * time.Millisecond
+		if i > 0 {
+			timeout = 3 * time.Second
+		}
+		app, err := srjxta.New(p, timeout)
+		if err != nil {
+			return fmt.Errorf("srjxta publisher %d: %w", i, err)
+		}
+		c.closers = append(c.closers, app.Close)
+		c.Pubs = append(c.Pubs, &srjxtaPub{app: app})
+	}
+	for j := 0; j < c.cfg.Subscribers; j++ {
+		node, err := c.subNode(j)
+		if err != nil {
+			return err
+		}
+		p, err := newPeer(node.Name(), node, rendezvous.RoleEdge, pubAddrs)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, p.Close)
+		app, err := srjxta.New(p, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("srjxta subscriber %d: %w", j, err)
+		}
+		c.closers = append(c.closers, app.Close)
+		sub := &srjxtaSub{}
+		if err := app.Subscribe(func(srapp.SkiRental) { sub.received.Add(1) }); err != nil {
+			return err
+		}
+		c.Subs = append(c.Subs, sub)
+	}
+	return nil
+}
+
+// --- SR-TPS: the application over the TPS layer ---
+
+type srtpsPub struct{ app *srtps.App }
+
+func (s *srtpsPub) Publish(offer srapp.SkiRental) error { return s.app.Publish(offer) }
+func (s *srtpsPub) Sent() int                           { return len(s.app.Sent()) }
+
+type srtpsSub struct {
+	received atomic.Int64
+}
+
+func (s *srtpsSub) Received() int { return int(s.received.Load()) }
+
+func (c *Cluster) buildSRTPS(pubAddrs []endpoint.Address) error {
+	for i := 0; i < c.cfg.Publishers; i++ {
+		node, err := c.pubNode(i)
+		if err != nil {
+			return err
+		}
+		platform, err := newPlatform(node.Name(), node, true, nil)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, platform.Close)
+		app, err := srtps.New(platform)
+		if err != nil {
+			return fmt.Errorf("srtps publisher %d: %w", i, err)
+		}
+		c.closers = append(c.closers, app.Close)
+		c.Pubs = append(c.Pubs, &srtpsPub{app: app})
+	}
+	for j := 0; j < c.cfg.Subscribers; j++ {
+		node, err := c.subNode(j)
+		if err != nil {
+			return err
+		}
+		platform, err := newPlatform(node.Name(), node, false, pubAddrs)
+		if err != nil {
+			return err
+		}
+		c.closers = append(c.closers, platform.Close)
+		app, err := srtps.New(platform)
+		if err != nil {
+			return fmt.Errorf("srtps subscriber %d: %w", j, err)
+		}
+		c.closers = append(c.closers, app.Close)
+		sub := &srtpsSub{}
+		if err := app.SubscribeFunc(func(srapp.SkiRental) { sub.received.Add(1) }); err != nil {
+			return err
+		}
+		c.Subs = append(c.Subs, sub)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type skiRental struct {
+	Shop         string
+	Brand        string
+	Price        float64
+	NumberOfDays float64
+}
+
+func init() {
+	// Normally done by the type registry.
+	gob.Register(skiRental{})
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	c := Gob{}
+	if c.Name() != "gob" {
+		t.Fatalf("name %q", c.Name())
+	}
+	in := skiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}
+	data, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(data, reflect.TypeOf(skiRental{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestGobDecodeWithoutTypeHint(t *testing.T) {
+	c := Gob{}
+	in := skiRental{Shop: "s"}
+	data, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.(skiRental); !ok {
+		t.Fatalf("dynamic type %T", out)
+	}
+}
+
+func TestGobTypeMismatch(t *testing.T) {
+	c := Gob{}
+	data, err := c.Encode(skiRental{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data, reflect.TypeOf(42)); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}
+
+func TestGobGarbage(t *testing.T) {
+	c := Gob{}
+	if _, err := c.Decode([]byte("not gob at all"), nil); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := c.Encode(nil); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("nil encode: %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := JSON{}
+	if c.Name() != "json" {
+		t.Fatalf("name %q", c.Name())
+	}
+	in := skiRental{Shop: "Shop2", Brand: "Atomic", Price: 19.5, NumberOfDays: 7}
+	data, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decode(data, reflect.TypeOf(skiRental{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestJSONRequiresType(t *testing.T) {
+	c := JSON{}
+	if _, err := c.Decode([]byte(`{}`), nil); err == nil {
+		t.Fatal("json decode without type accepted")
+	}
+	if _, err := c.Decode([]byte(`{broken`), reflect.TypeOf(skiRental{})); err == nil {
+		t.Fatal("broken json decoded")
+	}
+	if _, err := c.Encode(nil); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("nil encode: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"gob", "json", "xml"} {
+		c, err := ByName(name)
+		if err != nil || c.Name() != name {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("xdr"); !errors.Is(err, ErrUnknownCodec) {
+		t.Fatalf("unknown: %v", err)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	c := XML{}
+	in := skiRental{Shop: "XmlShop", Brand: "Völkl & Co", Price: 25, NumberOfDays: 3}
+	data, err := c.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("<Shop>XmlShop</Shop>")) {
+		t.Fatalf("xml lacks readable structure: %s", data)
+	}
+	out, err := c.Decode(data, reflect.TypeOf(skiRental{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestXMLErrors(t *testing.T) {
+	c := XML{}
+	if _, err := c.Encode(nil); !errors.Is(err, ErrNilEvent) {
+		t.Fatalf("nil encode: %v", err)
+	}
+	if _, err := c.Decode([]byte("<skiRental>"), reflect.TypeOf(skiRental{})); err == nil {
+		t.Fatal("truncated xml decoded")
+	}
+	if _, err := c.Decode([]byte("<x/>"), nil); err == nil {
+		t.Fatal("decode without type accepted")
+	}
+}
+
+// Property: both codecs round-trip arbitrary event field values.
+func TestQuickRoundTripBothCodecs(t *testing.T) {
+	for _, c := range []Codec{Gob{}, JSON{}} {
+		c := c
+		f := func(shop, brand string, price, days float64) bool {
+			in := skiRental{Shop: shop, Brand: brand, Price: price, NumberOfDays: days}
+			data, err := c.Encode(in)
+			if err != nil {
+				return false
+			}
+			out, err := c.Decode(data, reflect.TypeOf(skiRental{}))
+			if err != nil {
+				return false
+			}
+			return reflect.DeepEqual(out, in)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}

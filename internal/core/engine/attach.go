@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/tps-p2p/tps/internal/core/codec"
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/peergroup"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+// attach.go is the Connections block: it turns a found or created
+// advertisement into a live attachment — a joined peer group, a wire
+// input pipe with its reader (the paper's TPSPipeReader /
+// TPSMyInputPipe) and a wire output pipe (TPSMyOutputPipe).
+
+// TPS message element names, namespace "tps".
+const (
+	elemNS      = "tps"
+	elemEventID = "EventID"
+	elemPath    = "Path"
+	elemCodec   = "Codec"
+	elemData    = "Data"
+)
+
+// attachment is one live (type, group) binding.
+type attachment struct {
+	path    string
+	groupID jid.ID
+	group   *peergroup.Group
+	pipeAdv *adv.PipeAdv
+	in      *wire.InputPipe
+	out     *wire.OutputPipe
+}
+
+// attach joins the advertised group, opens the wire pipes and registers
+// the attachment. It clears the engine's in-progress marker.
+func (e *Engine) attach(pg *adv.PeerGroupAdv) error {
+	defer func() {
+		e.mu.Lock()
+		delete(e.creating, pg.GroupID)
+		e.mu.Unlock()
+	}()
+
+	path, ok := advPath(pg.Name)
+	if !ok {
+		return fmt.Errorf("tps: advertisement %q lacks the %q prefix", pg.Name, PSPrefix)
+	}
+	g, wirePipe, err := e.peer.JoinGroupFromAdv(pg)
+	if err != nil {
+		return fmt.Errorf("tps: join group for %s: %w", path, err)
+	}
+	in, err := g.Wire.CreateInputPipe(wirePipe)
+	if err != nil {
+		// The group may be shared (peer already joined); without our own
+		// input pipe the attachment cannot deliver, so fail loudly.
+		return fmt.Errorf("tps: input pipe for %s: %w", path, err)
+	}
+	out, err := g.Wire.CreateOutputPipe(wirePipe)
+	if err != nil {
+		in.Close()
+		return fmt.Errorf("tps: output pipe for %s: %w", path, err)
+	}
+	a := &attachment{
+		path:    path,
+		groupID: pg.GroupID,
+		group:   g,
+		pipeAdv: wirePipe,
+		in:      in,
+		out:     out,
+	}
+	in.SetListener(func(m *message.Message) { e.onWireMessage(m) })
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		a.close(e.peer)
+		return ErrClosed
+	}
+	if _, dup := e.attachments[path][pg.GroupID]; dup {
+		e.mu.Unlock()
+		a.close(e.peer)
+		return nil
+	}
+	if e.attachments[path] == nil {
+		e.attachments[path] = make(map[jid.ID]*attachment)
+	}
+	e.attachments[path][pg.GroupID] = a
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return nil
+}
+
+// publish sends one encoded event on this attachment's output pipe.
+func (a *attachment) publish(e *Engine, eventID jid.ID, path string, payload []byte) error {
+	msg := message.New(e.peer.ID())
+	msg.AddString(elemNS, elemEventID, eventID.String())
+	msg.AddString(elemNS, elemPath, path)
+	msg.AddString(elemNS, elemCodec, e.codec.Name())
+	msg.AddBytes(elemNS, elemData, payload)
+	return a.out.Send(msg)
+}
+
+// ready reports whether the attachment can reach beyond this process:
+// its group holds a rendezvous lease, or it was never seeded (loopback
+// only).
+func (a *attachment) ready() bool {
+	rdv := a.group.Rendezvous
+	if rdv == nil {
+		return false
+	}
+	if !rdv.Seeded() {
+		return true
+	}
+	return len(rdv.ConnectedRendezvous()) > 0
+}
+
+// close tears the attachment down and leaves its group.
+func (a *attachment) close(p *peer.Peer) {
+	a.in.Close()
+	p.LeaveGroup(a.groupID)
+}
+
+// onWireMessage is the pipe reader: it deduplicates, decodes and
+// dispatches one incoming event.
+func (e *Engine) onWireMessage(msg *message.Message) {
+	eventID, err := jid.Parse(msg.Text(elemNS, elemEventID))
+	if err != nil {
+		e.mu.Lock()
+		e.stats.DecodeErrors++
+		e.mu.Unlock()
+		return
+	}
+	// The same event arrives once per attached group carrying the type;
+	// deliver it exactly once (the duplicate handling the paper's
+	// SR-JXTA application reimplements by hand).
+	if !e.dedupe.Observe(eventID) {
+		e.mu.Lock()
+		e.stats.DuplicateEvents++
+		e.mu.Unlock()
+		return
+	}
+	path := msg.Text(elemNS, elemPath)
+	node, ok := e.reg.NodeByPath(path)
+	if !ok {
+		// A type outside our registered model: the common-type-model
+		// assumption (§6) means we cannot decode it.
+		e.mu.Lock()
+		e.stats.DecodeErrors++
+		e.mu.Unlock()
+		return
+	}
+	c := e.codec
+	if name := msg.Text(elemNS, elemCodec); name != c.Name() {
+		if other, err := codec.ByName(name); err == nil {
+			c = other
+		}
+	}
+	value, err := c.Decode(msg.Bytes(elemNS, elemData), node.Type())
+	if err != nil {
+		e.mu.Lock()
+		e.stats.DecodeErrors++
+		e.mu.Unlock()
+		e.subs.dispatchError(fmt.Errorf("tps: decode %s: %w", path, err))
+		return
+	}
+	e.mu.Lock()
+	e.stats.Delivered++
+	e.mu.Unlock()
+	e.subs.dispatch(e.reg, node, value, msg.Src)
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+// creator.go is the AdvertisementsCreator block (paper Figure 15): one
+// type is represented by one peer-group advertisement that embeds the
+// wire service bound to the type's propagated pipe; the pipe's name is
+// the name of the type.
+
+// createTypeAdvertisement assembles the advertisement pair for a type:
+// a fresh peer group carrying the wire service and its propagated pipe.
+func createTypeAdvertisement(peerID jid.ID, node *typereg.Node) (*adv.PeerGroupAdv, *adv.PipeAdv) {
+	groupID := jid.NewGroup()
+	pipeAdv := &adv.PipeAdv{
+		PipeID: jid.NewPipeIn(groupID),
+		Type:   adv.PipePropagate,
+		Name:   PSPrefix + node.Path(),
+	}
+	groupAdv := &adv.PeerGroupAdv{
+		GroupID:    groupID,
+		PeerID:     peerID,
+		Name:       PSPrefix + node.Path(),
+		Desc:       "TPS event group for type " + node.Path(),
+		GroupImpl:  "go-jxta-stdgroup",
+		App:        "tps",
+		Rendezvous: true,
+	}
+	groupAdv.SetService(adv.ServiceAdv{
+		Name:     wire.ServiceName,
+		Version:  "1.0",
+		Keywords: pipeAdv.Name,
+		Pipe:     pipeAdv,
+	})
+	return groupAdv, pipeAdv
+}
+
+// createAndAttach creates this peer's own advertisement for the type,
+// publishes it (locally and into the mesh, the paper's
+// publishAdvertisement doing publish + remotePublish) and attaches to
+// the new group.
+func (e *Engine) createAndAttach(node *typereg.Node) error {
+	net := e.peer.NetGroup()
+	if net == nil {
+		return ErrClosed
+	}
+	groupAdv, _ := createTypeAdvertisement(e.peer.ID(), node)
+	// Claim the group before the advertisement can reach our own finder
+	// (it lands in the local discovery cache immediately), or the finder
+	// would race us into a second attach.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.creating[groupAdv.GroupID] = true
+	e.mu.Unlock()
+	if err := net.Discovery.RemotePublish(groupAdv, 0); err != nil {
+		// Local publication still worked if only propagation failed; an
+		// isolated peer can publish to itself.
+		if lerr := net.Discovery.Publish(groupAdv, 0, 0); lerr != nil {
+			e.mu.Lock()
+			delete(e.creating, groupAdv.GroupID)
+			e.mu.Unlock()
+			return fmt.Errorf("tps: publish type advertisement: %w", lerr)
+		}
+	}
+	e.mu.Lock()
+	e.stats.AdvsCreated++
+	e.mu.Unlock()
+	return e.attach(groupAdv)
+}

@@ -1,0 +1,352 @@
+// Package engine implements the TPS engine over the JXTA substrate —
+// the paper's §3.4 architecture.
+//
+// The engine is built from the four blocks of Figure 10:
+//
+//   - TPSEngine (this type): collects publications and subscriptions and
+//     dispatches them to the other blocks;
+//   - Advertisements: the creator (creator.go) builds the one
+//     advertisement that represents a type, the finder (finder.go)
+//     keeps searching for further advertisements related to tracked
+//     types and dispatches them to listeners;
+//   - Interface Repository (subscriptions.go): stores callback objects
+//     and exception handlers and starts/stops subscriptions;
+//   - Connections (attach.go): joins the per-type peer groups found or
+//     created, opens wire input/output pipes and runs the pipe readers.
+//
+// One engine serves one type hierarchy; programs interested in several
+// unrelated hierarchies create several engines (§4.2).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/core/codec"
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/seen"
+)
+
+// PSPrefix prefixes every TPS advertisement name, as in the paper's
+// AdvertisementsCreator (adv.setName(PS_PREFIX + pipeAdv.getName())).
+const PSPrefix = "PS."
+
+// Defaults.
+const (
+	// DefaultFindTimeout is how long a publisher or subscriber searches
+	// for an existing type advertisement before creating its own — the
+	// paper's "specific amount of time".
+	DefaultFindTimeout = 2 * time.Second
+	// DefaultFindInterval is the advertisement finder's loop period —
+	// the paper's SLEEPING_TIME.
+	DefaultFindInterval = time.Second
+)
+
+// Errors.
+var (
+	ErrClosed        = errors.New("tps: engine closed")
+	ErrNotRegistered = errors.New("tps: event type not registered")
+	ErrNilDelivery   = errors.New("tps: nil delivery callback")
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Peer is the JXTA peer the engine runs on.
+	Peer *peer.Peer
+	// Registry is the shared event-type registry.
+	Registry *typereg.Registry
+	// Codec serialises events; nil means gob.
+	Codec codec.Codec
+	// FindTimeout bounds the initial advertisement search.
+	FindTimeout time.Duration
+	// FindInterval is the background finder's period.
+	FindInterval time.Duration
+}
+
+// Engine is the TPS engine: one instance per type hierarchy.
+type Engine struct {
+	peer  *peer.Peer
+	reg   *typereg.Registry
+	codec codec.Codec
+	ftime time.Duration
+	fint  time.Duration
+
+	mu           sync.Mutex
+	cond         *sync.Cond                        // broadcast on attachment changes
+	tracked      map[string]*typereg.Node          // root paths the finder queries for
+	attachments  map[string]map[jid.ID]*attachment // type path -> group ID -> attachment
+	creating     map[jid.ID]bool                   // group IDs being attached right now
+	creatingPath map[string]bool                   // type paths whose own adv is being created
+	subs         *subscriptionSet
+	dedupe       *seen.Cache
+	stats        Stats
+	closed       bool
+
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	kick   chan struct{} // wakes the finder immediately
+	lisTok int
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Published       int64
+	Delivered       int64
+	DuplicateEvents int64
+	DecodeErrors    int64
+	AttachmentsLive int
+	AdvsCreated     int64
+	AdvsFound       int64
+}
+
+// New creates and starts an engine: the advertisement finder begins
+// running immediately.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Peer == nil || cfg.Registry == nil {
+		return nil, errors.New("tps: engine needs a peer and a registry")
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = codec.Gob{}
+	}
+	if cfg.FindTimeout <= 0 {
+		cfg.FindTimeout = DefaultFindTimeout
+	}
+	if cfg.FindInterval <= 0 {
+		cfg.FindInterval = DefaultFindInterval
+	}
+	e := &Engine{
+		peer:         cfg.Peer,
+		reg:          cfg.Registry,
+		codec:        cfg.Codec,
+		ftime:        cfg.FindTimeout,
+		fint:         cfg.FindInterval,
+		tracked:      make(map[string]*typereg.Node),
+		attachments:  make(map[string]map[jid.ID]*attachment),
+		creating:     make(map[jid.ID]bool),
+		creatingPath: make(map[string]bool),
+		subs:         newSubscriptionSet(),
+		dedupe:       seen.New(),
+		stop:         make(chan struct{}),
+		kick:         make(chan struct{}, 1),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	net := cfg.Peer.NetGroup()
+	if net == nil {
+		return nil, ErrClosed
+	}
+	e.lisTok = net.Discovery.AddListener(e.onAdvertisement)
+	e.wg.Add(1)
+	go e.finderLoop()
+	return e, nil
+}
+
+// Codec returns the engine's event codec.
+func (e *Engine) Codec() codec.Codec { return e.codec }
+
+// Registry returns the shared type registry.
+func (e *Engine) Registry() *typereg.Registry { return e.reg }
+
+// Peer returns the underlying JXTA peer.
+func (e *Engine) Peer() *peer.Peer { return e.peer }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	for _, m := range e.attachments {
+		st.AttachmentsLive += len(m)
+	}
+	return st
+}
+
+// Close stops the finder, closes every attachment and detaches from
+// discovery.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var atts []*attachment
+	for _, m := range e.attachments {
+		for _, a := range m {
+			atts = append(atts, a)
+		}
+	}
+	e.attachments = map[string]map[jid.ID]*attachment{}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	close(e.stop)
+	e.wg.Wait()
+	if net := e.peer.NetGroup(); net != nil {
+		net.Discovery.RemoveListener(e.lisTok)
+	}
+	for _, a := range atts {
+		a.close(e.peer)
+	}
+}
+
+// Publish serialises the event and sends it on the wire pipe of every
+// group attached for the event's dynamic type, creating the type's
+// advertisement first if nobody advertises it yet.
+func (e *Engine) Publish(event any) error {
+	node, ok := e.reg.NodeOf(event)
+	if !ok {
+		return fmt.Errorf("%w: %T", ErrNotRegistered, event)
+	}
+	if err := e.EnsureType(node); err != nil {
+		return err
+	}
+	payload, err := e.codec.Encode(event)
+	if err != nil {
+		return err
+	}
+	eventID := jid.NewMessage()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	atts := make([]*attachment, 0, len(e.attachments[node.Path()]))
+	for _, a := range e.attachments[node.Path()] {
+		atts = append(atts, a)
+	}
+	e.stats.Published++
+	e.mu.Unlock()
+
+	var firstErr error
+	sent := 0
+	for _, a := range atts {
+		if err := a.publish(e, eventID, node.Path(), payload); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	if sent == 0 && firstErr != nil {
+		return fmt.Errorf("tps: publish %s: %w", node.Path(), firstErr)
+	}
+	return nil
+}
+
+// EnsureType makes sure at least one advertisement (and attachment)
+// exists for the node's type: it searches for the configured find
+// timeout and creates this peer's own advertisement when nothing shows
+// up — the initialization behaviour of the paper's §4.1.
+func (e *Engine) EnsureType(node *typereg.Node) error {
+	e.trackPath(node)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.attachments[node.Path()]) > 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+
+	// Trigger an immediate search round and wait for a matching
+	// advertisement to attach.
+	e.kickFinder()
+	deadline := time.Now().Add(e.ftime)
+	timer := time.AfterFunc(e.ftime, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer timer.Stop()
+	e.mu.Lock()
+	for len(e.attachments[node.Path()]) == 0 && !e.closed && time.Now().Before(deadline) {
+		e.cond.Wait()
+	}
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.attachments[node.Path()]) > 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	// Nobody advertises this type: create our own advertisement, keep
+	// looking for others in the background (the finder stays on it).
+	// Only one goroutine creates per path; latecomers wait for it.
+	for e.creatingPath[node.Path()] && !e.closed {
+		e.cond.Wait()
+	}
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if len(e.attachments[node.Path()]) > 0 {
+		e.mu.Unlock()
+		return nil
+	}
+	e.creatingPath[node.Path()] = true
+	e.mu.Unlock()
+
+	err := e.createAndAttach(node)
+	e.mu.Lock()
+	delete(e.creatingPath, node.Path())
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return err
+}
+
+// AwaitAttachments blocks until the type has at least n attachments or
+// the timeout elapses, reporting success. Benchmarks and tests use it to
+// know the mesh is ready before measuring.
+func (e *Engine) AwaitAttachments(node *typereg.Node, n int, timeout time.Duration) bool {
+	e.trackPath(node)
+	e.kickFinder()
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer timer.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		count := 0
+		for path, m := range e.attachments {
+			if typereg.CoversPath(node.Path(), path) {
+				count += len(m)
+			}
+		}
+		if count >= n {
+			return true
+		}
+		if e.closed || !time.Now().Before(deadline) {
+			return false
+		}
+		e.cond.Wait()
+	}
+}
+
+// trackPath registers a root path with the background finder.
+func (e *Engine) trackPath(node *typereg.Node) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tracked[node.Path()]; !ok {
+		e.tracked[node.Path()] = node
+	}
+}
+
+func (e *Engine) kickFinder() {
+	select {
+	case e.kick <- struct{}{}:
+	default:
+	}
+}

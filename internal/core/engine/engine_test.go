@@ -1,0 +1,537 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/core/engine"
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+// The Figure 7 hierarchy: quote events with a common interface root.
+type quote interface{ Sym() string }
+
+type stockQuote struct {
+	Symbol string
+	Price  float64
+}
+
+func (q stockQuote) Sym() string { return q.Symbol }
+
+type fxQuote struct {
+	Pair string
+	Rate float64
+}
+
+func (q fxQuote) Sym() string { return q.Pair }
+
+type techQuote struct {
+	stockQuote
+	PE float64
+}
+
+// newRegistry builds the test hierarchy: quote <- {stockQuote, fxQuote},
+// stockQuote <- techQuote.
+func newRegistry(t *testing.T) (*typereg.Registry, map[string]*typereg.Node) {
+	t.Helper()
+	r := typereg.New()
+	nodes := map[string]*typereg.Node{}
+	var err error
+	if nodes["quote"], err = r.Register(reflect.TypeOf((*quote)(nil)).Elem(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if nodes["stock"], err = r.Register(reflect.TypeOf(stockQuote{}), nodes["quote"]); err != nil {
+		t.Fatal(err)
+	}
+	if nodes["fx"], err = r.Register(reflect.TypeOf(fxQuote{}), nodes["quote"]); err != nil {
+		t.Fatal(err)
+	}
+	if nodes["tech"], err = r.Register(reflect.TypeOf(techQuote{}), nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	return r, nodes
+}
+
+type testRig struct {
+	t   *testing.T
+	net *netsim.Network
+	n   int
+}
+
+func newRig(t *testing.T) *testRig {
+	t.Helper()
+	n := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(n.Close)
+	rig := &testRig{t: t, net: n}
+	// One rendezvous daemon bridges everything.
+	node, err := n.AddNode("rdv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := peer.New(peer.Config{Name: "rdv", Role: rendezvous.RoleRendezvous, LeaseTTL: 2 * time.Second}, memnet.New(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.EnableDaemon(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return rig
+}
+
+type testEnginePeer struct {
+	peer  *peer.Peer
+	eng   *engine.Engine
+	nodes map[string]*typereg.Node
+}
+
+func (r *testRig) addEngine() *testEnginePeer {
+	r.t.Helper()
+	r.n++
+	name := fmt.Sprintf("peer%d", r.n)
+	node, err := r.net.AddNode(name)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	p, err := peer.New(peer.Config{
+		Name:     name,
+		Seeds:    []endpoint.Address{"mem://rdv"},
+		LeaseTTL: 2 * time.Second,
+	}, memnet.New(node))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.t.Cleanup(p.Close)
+	if !p.NetGroup().AwaitRendezvous(5 * time.Second) {
+		r.t.Fatal("peer never reached the daemon")
+	}
+	reg, nodes := newRegistry(r.t)
+	eng, err := engine.New(engine.Config{
+		Peer:         p,
+		Registry:     reg,
+		FindTimeout:  400 * time.Millisecond,
+		FindInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.t.Cleanup(eng.Close)
+	return &testEnginePeer{peer: p, eng: eng, nodes: nodes}
+}
+
+// collector gathers delivered events.
+type collector struct {
+	mu     sync.Mutex
+	events []any
+	errs   []error
+}
+
+func (c *collector) deliver(event any, _ jid.ID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, event)
+	return nil
+}
+
+func (c *collector) onError(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errs = append(c.errs, err)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func (c *collector) snapshot() []any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]any(nil), c.events...)
+}
+
+func (c *collector) errCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.errs)
+}
+
+func waitCount(t *testing.T, c *collector, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: have %d events, want %d", c.count(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPublisherFirstThenSubscriber(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	sub := rig.addEngine()
+
+	// Publisher ensures the type exists (creates the advertisement: the
+	// paper's initialization phase).
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], c.deliver, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) ||
+		!sub.eng.AwaitReady(sub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("attachments never became ready")
+	}
+	if err := pub.eng.Publish(stockQuote{Symbol: "ACME", Price: 42}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c, 1)
+	got, ok := c.snapshot()[0].(stockQuote)
+	if !ok || got.Symbol != "ACME" || got.Price != 42 {
+		t.Fatalf("got %#v", c.snapshot()[0])
+	}
+}
+
+func TestSubscriberFirstThenPublisher(t *testing.T) {
+	rig := newRig(t)
+	sub := rig.addEngine()
+	pub := rig.addEngine()
+
+	var c collector
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], c.deliver, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	// The publisher's EnsureType must FIND the subscriber's
+	// advertisement instead of creating a second one (minimization).
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	if st := pub.eng.Stats(); st.AdvsCreated != 0 {
+		t.Fatalf("publisher created %d advs despite existing one", st.AdvsCreated)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("publisher attachment not ready")
+	}
+	if err := pub.eng.Publish(stockQuote{Symbol: "XYZ", Price: 7}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c, 1)
+}
+
+func TestSubtypeDeliveryFigure7(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	subAll := rig.addEngine()  // subscribes to the interface root
+	subTech := rig.addEngine() // subscribes to a leaf
+
+	var cAll, cTech collector
+	if _, err := subAll.eng.Subscribe(subAll.nodes["quote"], cAll.deliver, cAll.onError); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subTech.eng.Subscribe(subTech.nodes["tech"], cTech.deliver, cTech.onError); err != nil {
+		t.Fatal(err)
+	}
+	// Publish one event of each concrete type.
+	for _, n := range []string{"stock", "fx", "tech"} {
+		if err := pub.eng.EnsureType(pub.nodes[n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everybody must see everybody: the quote subscriber needs all three
+	// type attachments ready on the publisher side.
+	for _, n := range []string{"stock", "fx", "tech"} {
+		if !pub.eng.AwaitReady(pub.nodes[n], 1, 5*time.Second) {
+			t.Fatalf("publisher %s attachment not ready", n)
+		}
+	}
+	if !subAll.eng.AwaitReady(subAll.nodes["quote"], 3, 10*time.Second) {
+		t.Fatal("root subscriber did not attach to all subtype groups")
+	}
+	if !subTech.eng.AwaitReady(subTech.nodes["tech"], 1, 5*time.Second) {
+		t.Fatal("leaf subscriber not ready")
+	}
+
+	if err := pub.eng.Publish(stockQuote{Symbol: "S", Price: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.eng.Publish(fxQuote{Pair: "EURUSD", Rate: 1.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.eng.Publish(techQuote{stockQuote: stockQuote{Symbol: "T", Price: 2}, PE: 30}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Root subscriber receives all three (fA,fB,fC,fD semantics)...
+	waitCount(t, &cAll, 3)
+	kinds := map[string]int{}
+	for _, ev := range cAll.snapshot() {
+		kinds[fmt.Sprintf("%T", ev)]++
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("root subscriber kinds = %v", kinds)
+	}
+	// ...the leaf subscriber exactly one (fD only).
+	waitCount(t, &cTech, 1)
+	time.Sleep(200 * time.Millisecond)
+	if cTech.count() != 1 {
+		t.Fatalf("leaf subscriber received %d events", cTech.count())
+	}
+	if _, ok := cTech.snapshot()[0].(techQuote); !ok {
+		t.Fatalf("leaf got %T", cTech.snapshot()[0])
+	}
+}
+
+func TestSimultaneousCreationConvergesWithExactlyOnceDelivery(t *testing.T) {
+	rig := newRig(t)
+	a := rig.addEngine()
+	b := rig.addEngine()
+
+	// Both ensure the same type concurrently: they may race and create
+	// two advertisements (two groups) for it.
+	var wg sync.WaitGroup
+	for _, p := range []*testEnginePeer{a, b} {
+		wg.Add(1)
+		go func(p *testEnginePeer) {
+			defer wg.Done()
+			if err := p.eng.EnsureType(p.nodes["stock"]); err != nil {
+				t.Errorf("ensure: %v", err)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	var c collector
+	if _, err := b.eng.Subscribe(b.nodes["stock"], c.deliver, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	// Let the finders merge the advertisement sets: if two groups were
+	// created, both engines eventually attach to both.
+	created := a.eng.Stats().AdvsCreated + b.eng.Stats().AdvsCreated
+	if created >= 2 {
+		if !a.eng.AwaitAttachments(a.nodes["stock"], 2, 10*time.Second) ||
+			!b.eng.AwaitAttachments(b.nodes["stock"], 2, 10*time.Second) {
+			t.Fatal("engines never merged the duplicate advertisements")
+		}
+	}
+	if !a.eng.AwaitReady(a.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("a not ready")
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := a.eng.Publish(stockQuote{Symbol: "DUP", Price: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, &c, total)
+	// Exactly once despite multi-group publication.
+	time.Sleep(300 * time.Millisecond)
+	if c.count() != total {
+		t.Fatalf("delivered %d, want exactly %d (TPS dedupe failed)", c.count(), total)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	sub := rig.addEngine()
+	var c1, c2 collector
+	s1, err := sub.eng.Subscribe(sub.nodes["stock"], c1.deliver, c1.onError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], c2.deliver, c2.onError); err != nil {
+		t.Fatal(err)
+	}
+	if sub.eng.SubscriptionCount() != 2 {
+		t.Fatalf("subscriptions = %d", sub.eng.SubscriptionCount())
+	}
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("not ready")
+	}
+	if err := pub.eng.Publish(stockQuote{Symbol: "ONE"}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c1, 1)
+	waitCount(t, &c2, 1)
+
+	// Remove one callback: only the other keeps receiving (paper method 4).
+	sub.eng.Unsubscribe(s1)
+	if err := pub.eng.Publish(stockQuote{Symbol: "TWO"}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c2, 2)
+	time.Sleep(100 * time.Millisecond)
+	if c1.count() != 1 {
+		t.Fatalf("unsubscribed callback still got %d events", c1.count())
+	}
+
+	// Remove everything: no event is received anymore (paper method 5).
+	sub.eng.UnsubscribeAll()
+	if err := pub.eng.Publish(stockQuote{Symbol: "THREE"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if c2.count() != 2 {
+		t.Fatalf("callback got %d events after UnsubscribeAll", c2.count())
+	}
+}
+
+func TestExceptionHandlerReceivesCallbackErrors(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	sub := rig.addEngine()
+	var c collector
+	boom := errors.New("boom")
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], func(any, jid.ID) error { return boom }, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("not ready")
+	}
+	if err := pub.eng.Publish(stockQuote{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.errCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("exception handler never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCallbackPanicIsContained(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	sub := rig.addEngine()
+	var c collector
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], func(any, jid.ID) error { panic("subscriber bug") }, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	var ok collector
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], ok.deliver, ok.onError); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("not ready")
+	}
+	if err := pub.eng.Publish(stockQuote{Symbol: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &ok, 1) // the healthy subscriber still got the event
+	deadline := time.Now().Add(5 * time.Second)
+	for c.errCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("panic never surfaced to the exception handler")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPublishUnregisteredType(t *testing.T) {
+	rig := newRig(t)
+	p := rig.addEngine()
+	type unregistered struct{ X int }
+	if err := p.eng.Publish(unregistered{}); !errors.Is(err, engine.ErrNotRegistered) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClosedEngineRefusesWork(t *testing.T) {
+	rig := newRig(t)
+	p := rig.addEngine()
+	p.eng.Close()
+	p.eng.Close() // idempotent
+	if err := p.eng.Publish(stockQuote{}); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("publish after close: %v", err)
+	}
+	if _, err := p.eng.Subscribe(p.nodes["stock"], func(any, jid.ID) error { return nil }, nil); !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+}
+
+func TestIsolatedPeerLoopback(t *testing.T) {
+	// A peer with no rendezvous still works locally: publisher and
+	// subscriber in one process (time/space decoupling degenerates to
+	// loopback).
+	n := netsim.New(netsim.Config{})
+	t.Cleanup(n.Close)
+	node, err := n.AddNode("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := peer.New(peer.Config{Name: "solo"}, memnet.New(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	reg, nodes := newRegistry(t)
+	eng, err := engine.New(engine.Config{
+		Peer: p, Registry: reg,
+		FindTimeout:  200 * time.Millisecond,
+		FindInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	var c collector
+	if _, err := eng.Subscribe(nodes["stock"], c.deliver, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Publish(stockQuote{Symbol: "SELF", Price: 3}); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, &c, 1)
+}
+
+func TestStatsProgression(t *testing.T) {
+	rig := newRig(t)
+	pub := rig.addEngine()
+	sub := rig.addEngine()
+	var c collector
+	if _, err := sub.eng.Subscribe(sub.nodes["stock"], c.deliver, c.onError); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.eng.EnsureType(pub.nodes["stock"]); err != nil {
+		t.Fatal(err)
+	}
+	if !pub.eng.AwaitReady(pub.nodes["stock"], 1, 5*time.Second) {
+		t.Fatal("not ready")
+	}
+	for i := 0; i < 5; i++ {
+		if err := pub.eng.Publish(stockQuote{Price: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, &c, 5)
+	if st := pub.eng.Stats(); st.Published != 5 || st.AttachmentsLive == 0 {
+		t.Fatalf("pub stats %+v", st)
+	}
+	if st := sub.eng.Stats(); st.Delivered != 5 {
+		t.Fatalf("sub stats %+v", st)
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+// finder.go is the TPSAdvertisementsFinder block (paper Figure 16): a
+// background loop that keeps searching for advertisements related to the
+// tracked types — so a publisher reaches the maximum number of
+// interested subscribers even when their groups appeared later — and an
+// advertisement listener that attaches every new matching group.
+
+// finderLoop periodically queries the net group for advertisements of
+// every tracked type subtree.
+func (e *Engine) finderLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.fint)
+	defer ticker.Stop()
+	for {
+		e.findOnce()
+		select {
+		case <-ticker.C:
+		case <-e.kick:
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// findOnce issues one round of discovery queries: for each tracked root
+// path P, an exact query for "PS.P" and a prefix query for "PS.P/*"
+// (the subtype closure), mirroring the paper's
+// getRemoteAdvertisements(..., "Name", prefix+"*", N).
+func (e *Engine) findOnce() {
+	net := e.peer.NetGroup()
+	if net == nil {
+		return
+	}
+	e.mu.Lock()
+	paths := make([]string, 0, len(e.tracked))
+	for p := range e.tracked {
+		paths = append(paths, p)
+	}
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, p := range paths {
+		_ = net.Discovery.GetRemoteAdvertisements(adv.Group, "Name", PSPrefix+p, 0)
+		_ = net.Discovery.GetRemoteAdvertisements(adv.Group, "Name", PSPrefix+p+"/*", 0)
+	}
+	// Local cache hits (e.g. advertisements that arrived via unsolicited
+	// remote publish before we started tracking) attach too.
+	for _, p := range paths {
+		for _, rec := range net.Discovery.GetLocalAdvertisements(adv.Group, "Name", PSPrefix+p) {
+			e.considerAdvertisement(rec.Adv)
+		}
+		for _, rec := range net.Discovery.GetLocalAdvertisements(adv.Group, "Name", PSPrefix+p+"/*") {
+			e.considerAdvertisement(rec.Adv)
+		}
+	}
+}
+
+// onAdvertisement is the engine's discovery listener: every
+// advertisement a remote peer sends us is considered for attachment.
+func (e *Engine) onAdvertisement(a adv.Advertisement, _ jid.ID) {
+	e.considerAdvertisement(a)
+}
+
+// considerAdvertisement attaches to the advertised group if it carries a
+// wire service for a tracked type (or a subtype of one).
+func (e *Engine) considerAdvertisement(a adv.Advertisement) {
+	pg, ok := a.(*adv.PeerGroupAdv)
+	if !ok {
+		return
+	}
+	svc, ok := pg.Service(wire.ServiceName)
+	if !ok || svc.Pipe == nil {
+		return
+	}
+	path, ok := advPath(pg.Name)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	interested := false
+	for root := range e.tracked {
+		if typereg.CoversPath(root, path) {
+			interested = true
+			break
+		}
+	}
+	_, already := e.attachments[path][pg.GroupID]
+	inProgress := e.creating[pg.GroupID]
+	if interested && !already && !inProgress {
+		e.creating[pg.GroupID] = true
+	}
+	e.mu.Unlock()
+	if !interested || already || inProgress {
+		return
+	}
+	e.mu.Lock()
+	e.stats.AdvsFound++
+	e.mu.Unlock()
+	if err := e.attach(pg); err != nil {
+		e.mu.Lock()
+		delete(e.creating, pg.GroupID)
+		e.mu.Unlock()
+	}
+}
+
+// advPath extracts the type path from an advertisement name
+// ("PS.figA/figC" -> "figA/figC").
+func advPath(name string) (string, bool) {
+	if len(name) <= len(PSPrefix) || name[:len(PSPrefix)] != PSPrefix {
+		return "", false
+	}
+	return name[len(PSPrefix):], true
+}

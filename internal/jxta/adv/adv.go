@@ -1,0 +1,123 @@
+// Package adv implements JXTA advertisements.
+//
+// An advertisement is an XML document announcing a resource — a peer, a
+// peer group, a pipe, a service or a route — so other peers can discover
+// and use it. Every advertisement carries an age: the Peer Discovery
+// Protocol distinguishes stale advertisements from fresh ones and expires
+// cached entries whose lifetime has elapsed.
+//
+// The package mirrors JXTA's AdvertisementFactory: Marshal renders any
+// advertisement as its canonical XML document and Unmarshal sniffs the
+// root element to rebuild the concrete type.
+package adv
+
+import (
+	"strings"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// Kind selects one of the three discovery indexes, mirroring JXTA's
+// Discovery.PEER, Discovery.GROUP and Discovery.ADV constants.
+type Kind int
+
+// Discovery index kinds.
+const (
+	Peer Kind = iota + 1
+	Group
+	Adv
+)
+
+// String returns the index name.
+func (k Kind) String() string {
+	switch k {
+	case Peer:
+		return "PEER"
+	case Group:
+		return "GROUP"
+	case Adv:
+		return "ADV"
+	default:
+		return "KIND(?)"
+	}
+}
+
+// Advertisement is the interface satisfied by every advertisement type.
+type Advertisement interface {
+	// AdvType returns the document type, e.g. "jxta:PipeAdvertisement".
+	AdvType() string
+	// AdvID returns the ID of the advertised resource. Two advertisements
+	// with the same AdvID describe the same resource; caches keep the
+	// freshest one.
+	AdvID() jid.ID
+	// AdvName returns the human-readable name attribute used by
+	// name-based discovery queries.
+	AdvName() string
+	// Kind returns the discovery index the advertisement belongs to.
+	Kind() Kind
+}
+
+// Default cache parameters, mirroring JXTA's defaults in spirit: locally
+// published advertisements live long; what we tell remote peers is much
+// shorter so stale information ages out of the network.
+const (
+	DefaultLifetime   = 4 * time.Hour
+	DefaultExpiration = 2 * time.Hour
+)
+
+// Record is a cached advertisement plus its age bookkeeping.
+type Record struct {
+	Adv Advertisement
+	// Published is when the record entered this cache.
+	Published time.Time
+	// Lifetime is how long this cache keeps the record.
+	Lifetime time.Duration
+	// Expiration is the remaining lifetime announced to remote peers when
+	// the record is forwarded in a discovery response.
+	Expiration time.Duration
+}
+
+// Age returns how long ago the record was published here.
+func (r Record) Age(now time.Time) time.Duration { return now.Sub(r.Published) }
+
+// Expired reports whether the record has outlived its local lifetime.
+func (r Record) Expired(now time.Time) bool { return r.Age(now) >= r.Lifetime }
+
+// RemainingExpiration returns the expiration to announce to a remote peer
+// at time now, never negative.
+func (r Record) RemainingExpiration(now time.Time) time.Duration {
+	rem := r.Expiration - r.Age(now)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Fresher reports whether r should replace old in a cache: a record is
+// fresher if it was published later.
+func (r Record) Fresher(old Record) bool { return r.Published.After(old.Published) }
+
+// Match reports whether the advertisement matches an attribute query.
+// Supported attributes are "Name" and "ID"; a trailing '*' in value makes
+// the comparison a prefix match, which is how the paper's finder locates
+// all advertisements related to a type ("Name", prefix+"*"). An empty
+// attribute matches everything.
+func Match(a Advertisement, attr, value string) bool {
+	if attr == "" {
+		return true
+	}
+	var field string
+	switch attr {
+	case "Name":
+		field = a.AdvName()
+	case "ID":
+		field = a.AdvID().String()
+	default:
+		return false
+	}
+	if strings.HasSuffix(value, "*") {
+		return strings.HasPrefix(field, strings.TrimSuffix(value, "*"))
+	}
+	return field == value
+}

@@ -1,0 +1,460 @@
+// Package discovery implements the JXTA Peer Discovery Protocol (PDP).
+//
+// Discovery lets peers find any kind of published advertisement — peers,
+// peer groups, pipes, services, routes. Each peer keeps a local
+// advertisement cache with per-record ages; queries search the local
+// cache, remote queries propagate through the rendezvous mesh and
+// matching peers respond with their records (carrying a remaining
+// expiration so stale information ages out of the network). Without this
+// protocol a peer remains alone unless it knows its contacts in advance.
+package discovery
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+)
+
+// HandlerName is the resolver handler name of the discovery protocol.
+const HandlerName = "jxta.discovery"
+
+// DefaultThreshold is the maximum number of advertisements a peer
+// returns per query (the paper's NUMBER_OF_ADV_PER_PEER).
+const DefaultThreshold = 20
+
+// MaxCachePerKind bounds each discovery index; oldest records are
+// evicted first.
+const MaxCachePerKind = 4096
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("discovery: closed")
+
+// Listener observes advertisements as they enter the local cache from
+// remote peers, mirroring JXTA's DiscoveryListener. from is the
+// responding peer.
+type Listener func(a adv.Advertisement, from jid.ID)
+
+// Service is one peer's discovery service for one group.
+type Service struct {
+	res *resolver.Service
+	now func() time.Time
+
+	mu        sync.Mutex
+	cache     map[adv.Kind]map[jid.ID]adv.Record
+	listeners map[int]Listener
+	nextLis   int
+	stats     Stats
+	closed    bool
+}
+
+// Stats counts discovery activity.
+type Stats struct {
+	QueriesSent     int64
+	QueriesServed   int64
+	ResponsesSent   int64
+	RecordsReceived int64
+	RecordsInCache  int
+}
+
+// Option customises the service.
+type Option func(*Service)
+
+// WithClock substitutes the time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Service) { s.now = now }
+}
+
+// New creates the discovery service and registers its resolver handler.
+func New(res *resolver.Service, opts ...Option) (*Service, error) {
+	s := &Service{
+		res:       res,
+		now:       time.Now,
+		cache:     make(map[adv.Kind]map[jid.ID]adv.Record),
+		listeners: make(map[int]Listener),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := res.RegisterHandler(HandlerName, (*handler)(s)); err != nil {
+		return nil, fmt.Errorf("discovery: %w", err)
+	}
+	return s, nil
+}
+
+// Close unregisters the resolver handler.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.res.UnregisterHandler(HandlerName)
+}
+
+// AddListener registers a listener and returns a token for removal.
+func (s *Service) AddListener(l Listener) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextLis
+	s.nextLis++
+	s.listeners[id] = l
+	return id
+}
+
+// RemoveListener drops the listener with the given token.
+func (s *Service) RemoveListener(token int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.listeners, token)
+}
+
+// Publish stores the advertisement in the local cache, where local and
+// remote queries can find it. Zero durations select the defaults.
+func (s *Service) Publish(a adv.Advertisement, lifetime, expiration time.Duration) error {
+	if lifetime == 0 {
+		lifetime = adv.DefaultLifetime
+	}
+	if expiration == 0 {
+		expiration = adv.DefaultExpiration
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.insertLocked(adv.Record{
+		Adv:        a,
+		Published:  s.now(),
+		Lifetime:   lifetime,
+		Expiration: expiration,
+	})
+	return nil
+}
+
+// RemotePublish pushes the advertisement to the group through the
+// rendezvous mesh, unsolicited, so interested peers learn it without
+// querying (JXTA's discovery.remotePublish). The local cache is updated
+// too.
+func (s *Service) RemotePublish(a adv.Advertisement, expiration time.Duration) error {
+	if err := s.Publish(a, 0, expiration); err != nil {
+		return err
+	}
+	if expiration == 0 {
+		expiration = adv.DefaultExpiration
+	}
+	payload, err := encodeResponse([]adv.Record{{
+		Adv:        a,
+		Published:  s.now(),
+		Lifetime:   expiration,
+		Expiration: expiration,
+	}}, s.now())
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.ResponsesSent++
+	s.mu.Unlock()
+	if err := s.res.PropagateResponse(HandlerName, 0, payload); err != nil {
+		return fmt.Errorf("discovery: remote publish: %w", err)
+	}
+	return nil
+}
+
+// GetLocalAdvertisements searches the local cache. attr may be "" (match
+// all), "Name" or "ID"; value supports a trailing '*' wildcard.
+func (s *Service) GetLocalAdvertisements(kind adv.Kind, attr, value string) []adv.Record {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	var out []adv.Record
+	for _, rec := range s.cache[kind] {
+		if adv.Match(rec.Adv, attr, value) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// GetRemoteAdvertisements propagates a discovery query through the
+// rendezvous mesh. Responses arrive asynchronously: they are inserted
+// into the local cache and reported to listeners. threshold limits how
+// many records each responding peer returns (0 means DefaultThreshold).
+func (s *Service) GetRemoteAdvertisements(kind adv.Kind, attr, value string, threshold int) error {
+	payload, err := encodeQuery(kind, attr, value, threshold)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.stats.QueriesSent++
+	s.mu.Unlock()
+	if _, err := s.res.PropagateQuery(HandlerName, payload); err != nil {
+		return fmt.Errorf("discovery: remote query: %w", err)
+	}
+	return nil
+}
+
+// GetRemoteAdvertisementsFrom sends the discovery query to one known
+// peer instead of the whole group.
+func (s *Service) GetRemoteAdvertisementsFrom(to endpoint.Address, kind adv.Kind, attr, value string, threshold int) error {
+	payload, err := encodeQuery(kind, attr, value, threshold)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.stats.QueriesSent++
+	s.mu.Unlock()
+	if _, err := s.res.SendQuery(to, HandlerName, payload); err != nil {
+		return fmt.Errorf("discovery: directed query: %w", err)
+	}
+	return nil
+}
+
+// Flush drops every cached advertisement of the given kind (JXTA's
+// flushAdvertisements(null, kind)).
+func (s *Service) Flush(kind adv.Kind) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.cache, kind)
+}
+
+// FlushID drops one advertisement by resource ID.
+func (s *Service) FlushID(kind adv.Kind, id jid.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.cache[kind]; ok {
+		delete(m, id)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(s.now())
+	st := s.stats
+	for _, m := range s.cache {
+		st.RecordsInCache += len(m)
+	}
+	return st
+}
+
+// insertLocked adds a record, keeping the freshest per resource ID and
+// bounding the index size.
+func (s *Service) insertLocked(rec adv.Record) {
+	kind := rec.Adv.Kind()
+	m, ok := s.cache[kind]
+	if !ok {
+		m = make(map[jid.ID]adv.Record)
+		s.cache[kind] = m
+	}
+	id := rec.Adv.AdvID()
+	if old, ok := m[id]; ok && old.Fresher(rec) {
+		return
+	}
+	if len(m) >= MaxCachePerKind {
+		s.evictOldestLocked(m)
+	}
+	m[id] = rec
+}
+
+func (s *Service) evictOldestLocked(m map[jid.ID]adv.Record) {
+	var oldest jid.ID
+	var oldestAt time.Time
+	first := true
+	for id, rec := range m {
+		if first || rec.Published.Before(oldestAt) {
+			oldest, oldestAt, first = id, rec.Published, false
+		}
+	}
+	if !first {
+		delete(m, oldest)
+	}
+}
+
+func (s *Service) expireLocked(now time.Time) {
+	for _, m := range s.cache {
+		for id, rec := range m {
+			if rec.Expired(now) {
+				delete(m, id)
+			}
+		}
+	}
+}
+
+// handler adapts Service to resolver.Handler without exporting the
+// methods on the main type.
+type handler Service
+
+var _ resolver.Handler = (*handler)(nil)
+
+// ProcessQuery serves a remote discovery query from the local cache.
+func (h *handler) ProcessQuery(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+	s := (*Service)(h)
+	query, err := decodeQuery(q.Payload)
+	if err != nil {
+		return nil, err
+	}
+	threshold := query.Threshold
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.stats.QueriesServed++
+	s.expireLocked(now)
+	var match []adv.Record
+	for _, rec := range s.cache[adv.Kind(query.Kind)] {
+		if adv.Match(rec.Adv, query.Attr, query.Value) {
+			match = append(match, rec)
+			if len(match) >= threshold {
+				break
+			}
+		}
+	}
+	if len(match) > 0 {
+		s.stats.ResponsesSent++
+	}
+	s.mu.Unlock()
+	if len(match) == 0 {
+		return nil, nil // discovery answers only positively
+	}
+	return encodeResponse(match, now)
+}
+
+// ProcessResponse ingests advertisements a remote peer sent us.
+func (h *handler) ProcessResponse(r resolver.Response, _ endpoint.Address) {
+	s := (*Service)(h)
+	items, err := decodeResponse(r.Payload)
+	if err != nil {
+		return
+	}
+	now := s.now()
+	var fire []adv.Advertisement
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for _, it := range items {
+		if it.expiration <= 0 {
+			continue // already stale
+		}
+		s.stats.RecordsReceived++
+		s.insertLocked(adv.Record{
+			Adv:       it.adv,
+			Published: now,
+			// A record learned remotely lives only as long as the
+			// remaining expiration its publisher granted.
+			Lifetime:   it.expiration,
+			Expiration: it.expiration,
+		})
+		fire = append(fire, it.adv)
+	}
+	listeners := make([]Listener, 0, len(s.listeners))
+	for _, l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	s.mu.Unlock()
+	for _, a := range fire {
+		for _, l := range listeners {
+			l(a, r.Src)
+		}
+	}
+}
+
+// --- wire encoding ---
+
+type queryDoc struct {
+	XMLName   xml.Name `xml:"DiscoveryQuery"`
+	Kind      int      `xml:"Kind"`
+	Attr      string   `xml:"Attr,omitempty"`
+	Value     string   `xml:"Value,omitempty"`
+	Threshold int      `xml:"Threshold"`
+}
+
+type responseDoc struct {
+	XMLName xml.Name      `xml:"DiscoveryResponse"`
+	Items   []responseRec `xml:"Item"`
+}
+
+type responseRec struct {
+	ExpirationMS int64  `xml:"expiration,attr"`
+	Doc          string `xml:",chardata"` // the advertisement XML, escaped
+}
+
+type responseItem struct {
+	adv        adv.Advertisement
+	expiration time.Duration
+}
+
+func encodeQuery(kind adv.Kind, attr, value string, threshold int) ([]byte, error) {
+	out, err := xml.Marshal(queryDoc{Kind: int(kind), Attr: attr, Value: value, Threshold: threshold})
+	if err != nil {
+		return nil, fmt.Errorf("discovery: encode query: %w", err)
+	}
+	return out, nil
+}
+
+func decodeQuery(payload []byte) (queryDoc, error) {
+	var q queryDoc
+	if err := xml.Unmarshal(payload, &q); err != nil {
+		return q, fmt.Errorf("discovery: decode query: %w", err)
+	}
+	return q, nil
+}
+
+func encodeResponse(recs []adv.Record, now time.Time) ([]byte, error) {
+	doc := responseDoc{Items: make([]responseRec, 0, len(recs))}
+	for _, rec := range recs {
+		raw, err := adv.Marshal(rec.Adv)
+		if err != nil {
+			return nil, err
+		}
+		doc.Items = append(doc.Items, responseRec{
+			ExpirationMS: rec.RemainingExpiration(now).Milliseconds(),
+			Doc:          string(raw),
+		})
+	}
+	out, err := xml.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: encode response: %w", err)
+	}
+	return out, nil
+}
+
+func decodeResponse(payload []byte) ([]responseItem, error) {
+	var doc responseDoc
+	if err := xml.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("discovery: decode response: %w", err)
+	}
+	items := make([]responseItem, 0, len(doc.Items))
+	for _, it := range doc.Items {
+		a, err := adv.Unmarshal([]byte(it.Doc))
+		if err != nil {
+			continue // skip unknown or corrupt advertisements
+		}
+		items = append(items, responseItem{
+			adv:        a,
+			expiration: time.Duration(it.ExpirationMS) * time.Millisecond,
+		})
+	}
+	return items, nil
+}

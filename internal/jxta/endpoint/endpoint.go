@@ -1,0 +1,335 @@
+// Package endpoint implements the JXTA endpoint layer: the boundary
+// between protocol services and concrete transports.
+//
+// An endpoint Service owns one or more Transports (TCP, in-memory
+// simulated WAN, ...), demultiplexes incoming messages to registered
+// service handlers by (service name, service parameter), and offers
+// Send for addressing a message to a remote peer's service. Peers may
+// have multiple network interfaces (multiple transports); the endpoint
+// hides which one a message used.
+//
+// Everything above this layer deals in peer IDs and pipe IDs; only the
+// endpoint and the Endpoint Routing Protocol deal in physical addresses.
+package endpoint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+)
+
+// Address is a transport-qualified address such as "tcp://10.0.0.1:9701"
+// or "mem://node3".
+type Address string
+
+// Scheme returns the transport scheme ("tcp", "mem", ...).
+func (a Address) Scheme() string {
+	if i := strings.Index(string(a), "://"); i >= 0 {
+		return string(a)[:i]
+	}
+	return ""
+}
+
+// Host returns the transport-specific location part.
+func (a Address) Host() string {
+	if i := strings.Index(string(a), "://"); i >= 0 {
+		return string(a)[i+3:]
+	}
+	return string(a)
+}
+
+// MakeAddress assembles an Address from scheme and host.
+func MakeAddress(scheme, host string) Address {
+	return Address(scheme + "://" + host)
+}
+
+// Transport moves opaque frames between addresses sharing one scheme.
+// Implementations must be safe for concurrent use.
+type Transport interface {
+	// Scheme returns the address scheme this transport serves.
+	Scheme() string
+	// LocalAddress returns the address remote peers can reach us at.
+	LocalAddress() Address
+	// Send delivers one frame to the given address. It may fail fast
+	// (unreachable) or succeed without delivery guarantee, like a
+	// datagram over an established connection.
+	Send(to Address, frame []byte) error
+	// SetReceiver installs the inbound frame callback. Must be called
+	// exactly once, before the first frame can arrive.
+	SetReceiver(func(frame []byte))
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// Handler consumes a message addressed to a registered service.
+type Handler func(msg *message.Message, from Address)
+
+// Sender is the message-sending capability exported to upper layers.
+// *Service implements it directly; the Endpoint Routing Protocol wraps it
+// with relay fallback while keeping the same signature.
+type Sender interface {
+	// Send addresses msg to the (svc, param) handler at the remote
+	// address.
+	Send(to Address, svc, param string, msg *message.Message) error
+	// LocalAddresses lists the addresses remote peers can use to reach
+	// this peer, best first.
+	LocalAddresses() []Address
+	// PeerID returns the local peer's identity.
+	PeerID() jid.ID
+}
+
+// Envelope element names, in the "ep" namespace.
+const (
+	ElemNamespace = "ep"
+	elemDstSvc    = "DstSvc"
+	elemDstParam  = "DstParam"
+	elemSrcAddr   = "SrcAddr"
+)
+
+// Errors.
+var (
+	ErrNoTransport   = errors.New("endpoint: no transport for scheme")
+	ErrClosed        = errors.New("endpoint: service closed")
+	ErrDupHandler    = errors.New("endpoint: handler already registered")
+	ErrNoHandler     = errors.New("endpoint: no handler registered")
+	ErrBadDestFormat = errors.New("endpoint: message lacks destination elements")
+)
+
+// Stats is a snapshot of endpoint traffic, feeding the Peer Information
+// Protocol.
+type Stats struct {
+	Started       time.Time
+	MsgsIn        int64
+	MsgsOut       int64
+	BytesIn       int64
+	BytesOut      int64
+	LastIncoming  time.Time
+	LastOutgoing  time.Time
+	NoHandlerDrop int64
+	DecodeErrors  int64
+}
+
+// Uptime returns how long the endpoint has been running.
+func (s Stats) Uptime(now time.Time) time.Duration { return now.Sub(s.Started) }
+
+type handlerKey struct{ svc, param string }
+
+// Service is the endpoint service of one peer.
+type Service struct {
+	peerID jid.ID
+
+	mu         sync.RWMutex
+	transports map[string]Transport
+	order      []string // scheme registration order: preferred first
+	handlers   map[handlerKey]Handler
+	stats      Stats
+	closed     bool
+}
+
+var _ Sender = (*Service)(nil)
+
+// New creates an endpoint service for the given peer identity.
+func New(peerID jid.ID) *Service {
+	return &Service{
+		peerID:     peerID,
+		transports: make(map[string]Transport),
+		handlers:   make(map[handlerKey]Handler),
+		stats:      Stats{Started: time.Now()},
+	}
+}
+
+// PeerID implements Sender.
+func (s *Service) PeerID() jid.ID { return s.peerID }
+
+// AddTransport attaches a transport and starts receiving from it.
+// Transports added first are preferred by LocalAddresses.
+func (s *Service) AddTransport(t Transport) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	scheme := t.Scheme()
+	if _, ok := s.transports[scheme]; ok {
+		return fmt.Errorf("endpoint: transport for %q already attached", scheme)
+	}
+	s.transports[scheme] = t
+	s.order = append(s.order, scheme)
+	t.SetReceiver(s.receive)
+	return nil
+}
+
+// LocalAddresses implements Sender.
+func (s *Service) LocalAddresses() []Address {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Address, 0, len(s.order))
+	for _, scheme := range s.order {
+		out = append(out, s.transports[scheme].LocalAddress())
+	}
+	return out
+}
+
+// RegisterHandler binds a handler to (svc, param). An empty param
+// registers a wildcard receiving any param not bound more specifically.
+func (s *Service) RegisterHandler(svc, param string, h Handler) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	k := handlerKey{svc, param}
+	if _, ok := s.handlers[k]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrDupHandler, svc, param)
+	}
+	s.handlers[k] = h
+	return nil
+}
+
+// UnregisterHandler removes the (svc, param) binding.
+func (s *Service) UnregisterHandler(svc, param string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.handlers, handlerKey{svc, param})
+}
+
+// Send implements Sender: it envelopes msg with the destination service
+// coordinates and this peer's return address, then hands the frame to the
+// transport matching the destination scheme.
+func (s *Service) Send(to Address, svc, param string, msg *message.Message) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	t, ok := s.transports[to.Scheme()]
+	var srcAddr Address
+	if len(s.order) > 0 {
+		srcAddr = s.transports[s.order[0]].LocalAddress()
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q (to %s)", ErrNoTransport, to.Scheme(), to)
+	}
+
+	out := msg.Dup() // envelope mutations must not leak into the caller's message
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstSvc, Data: []byte(svc)})
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstParam, Data: []byte(param)})
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemSrcAddr, Data: []byte(srcAddr)})
+	frame, err := out.Marshal()
+	if err != nil {
+		return fmt.Errorf("endpoint: marshal: %w", err)
+	}
+	if err := t.Send(to, frame); err != nil {
+		return fmt.Errorf("endpoint: send to %s: %w", to, err)
+	}
+	s.mu.Lock()
+	s.stats.MsgsOut++
+	s.stats.BytesOut += int64(len(frame))
+	s.stats.LastOutgoing = time.Now()
+	s.mu.Unlock()
+	return nil
+}
+
+// receive decodes a frame and dispatches it to the registered handler.
+func (s *Service) receive(frame []byte) {
+	msg, err := message.Unmarshal(frame)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.DecodeErrors++
+		s.mu.Unlock()
+		return
+	}
+	svc := msg.Text(ElemNamespace, elemDstSvc)
+	param := msg.Text(ElemNamespace, elemDstParam)
+	from := Address(msg.Text(ElemNamespace, elemSrcAddr))
+
+	s.mu.Lock()
+	s.stats.MsgsIn++
+	s.stats.BytesIn += int64(len(frame))
+	s.stats.LastIncoming = time.Now()
+	h, ok := s.handlers[handlerKey{svc, param}]
+	if !ok {
+		h, ok = s.handlers[handlerKey{svc, ""}]
+	}
+	if !ok {
+		s.stats.NoHandlerDrop++
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if !ok || closed {
+		return
+	}
+	h(msg, from)
+}
+
+// DeliverLocal dispatches an in-process message to the local handler
+// bound to (svc, param), as if it had arrived from the given address.
+// Rendezvous propagation uses it to deliver forwarded messages to this
+// peer's own services.
+func (s *Service) DeliverLocal(svc, param string, msg *message.Message, from Address) error {
+	s.mu.RLock()
+	h, ok := s.handlers[handlerKey{svc, param}]
+	if !ok {
+		h, ok = s.handlers[handlerKey{svc, ""}]
+	}
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		s.mu.Lock()
+		s.stats.NoHandlerDrop++
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s", ErrNoHandler, svc, param)
+	}
+	h(msg, from)
+	return nil
+}
+
+// Stats returns a snapshot of the endpoint counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// Close shuts down all transports. Handlers registered remain but no
+// further traffic flows.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ts := make([]Transport, 0, len(s.transports))
+	for _, t := range s.transports {
+		ts = append(ts, t)
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, t := range ts {
+		if err := t.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Destination reports the service coordinates carried by a received
+// message envelope — useful to relays that must re-deliver verbatim.
+func Destination(msg *message.Message) (svc, param string, err error) {
+	svc = msg.Text(ElemNamespace, elemDstSvc)
+	param = msg.Text(ElemNamespace, elemDstParam)
+	if svc == "" {
+		return "", "", ErrBadDestFormat
+	}
+	return svc, param, nil
+}

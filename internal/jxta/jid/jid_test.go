@@ -1,0 +1,254 @@
+package jid
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKinds(t *testing.T) {
+	kinds := []Kind{KindPeer, KindGroup, KindPipe, KindMessage, KindCodat, KindModule}
+	for _, k := range kinds {
+		id := New(k)
+		if id.Kind() != k {
+			t.Errorf("New(%v).Kind() = %v", k, id.Kind())
+		}
+		if id.IsZero() {
+			t.Errorf("New(%v) returned zero ID", k)
+		}
+	}
+}
+
+func TestNewIsUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := New(KindPeer)
+		if seen[id] {
+			t.Fatalf("duplicate ID generated: %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindPeer, KindGroup, KindPipe, KindMessage, KindCodat, KindModule} {
+		id := New(k)
+		s := id.String()
+		if !strings.HasPrefix(s, "urn:jxta:uuid-") {
+			t.Fatalf("String() = %q lacks urn prefix", s)
+		}
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got != id {
+			t.Fatalf("round trip mismatch: %v != %v", got, id)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"urn:jxta:uuid-",
+		"urn:jxta:uuid-zz",
+		"not-a-urn",
+		"urn:jxta:uuid-" + strings.Repeat("g", 34),             // bad hex
+		"urn:jxta:uuid-" + strings.Repeat("0", 33),             // short
+		"urn:jxta:uuid-" + strings.Repeat("0", 32) + "ff",      // bad kind
+		"urn:jxta:uuid-" + strings.Repeat("0", 32) + "07",      // kind out of range
+		"URN:JXTA:UUID-" + strings.Repeat("0", 32) + "01",      // case-sensitive prefix
+		"urn:jxta:uuid-" + strings.Repeat("0", 34) + "trailer", // trailing junk
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseNil(t *testing.T) {
+	id, err := Parse(Nil.String())
+	if err != nil {
+		t.Fatalf("Parse(nil URN): %v", err)
+	}
+	if !id.IsZero() {
+		t.Fatalf("Parse(nil URN) = %v, want zero", id)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on garbage did not panic")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestTextMarshaling(t *testing.T) {
+	id := New(KindPipe)
+	text, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ID
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("text round trip: %v != %v", back, id)
+	}
+	if err := back.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("UnmarshalText(bogus) succeeded")
+	}
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	a := FromSeed(KindPeer, 42)
+	b := FromSeed(KindPeer, 42)
+	if a != b {
+		t.Fatal("FromSeed not deterministic")
+	}
+	c := FromSeed(KindPeer, 43)
+	if a == c {
+		t.Fatal("FromSeed(42) == FromSeed(43)")
+	}
+	d := FromSeed(KindGroup, 42)
+	if a == d {
+		t.Fatal("kind not part of FromSeed identity")
+	}
+}
+
+func TestNewPipeInScopesGroup(t *testing.T) {
+	g1 := NewGroup()
+	g2 := NewGroup()
+	p1 := NewPipeIn(g1)
+	p2 := NewPipeIn(g2)
+	if p1.Kind() != KindPipe {
+		t.Fatalf("NewPipeIn kind = %v", p1.Kind())
+	}
+	u1, ug1 := p1.UUID(), g1.UUID()
+	if !reflect.DeepEqual(u1[:8], ug1[:8]) {
+		t.Fatal("pipe ID does not embed group prefix")
+	}
+	if p1 == p2 {
+		t.Fatal("pipes in different groups collided")
+	}
+	if NewPipeIn(g1) == p1 {
+		t.Fatal("NewPipeIn not random within group")
+	}
+}
+
+func TestShort(t *testing.T) {
+	id := FromSeed(KindPeer, 0x69400000000)
+	s := id.Short()
+	if len(s) != 8 || !strings.Contains(s, "..") {
+		t.Fatalf("Short() = %q, want 3+..+3 form", s)
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	ids := make([]ID, 100)
+	for i := range ids {
+		ids[i] = FromSeed(Kind(1+i%6), uint64(i*7919))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for i := 1; i < len(ids); i++ {
+		if ids[i].Less(ids[i-1]) {
+			t.Fatalf("sort not total at %d", i)
+		}
+	}
+	if ids[0].Less(ids[0]) {
+		t.Fatal("Less not irreflexive")
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary seeds and kinds.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, kindRaw uint8) bool {
+		kind := Kind(1 + kindRaw%6)
+		id := FromSeed(kind, seed)
+		got, err := Parse(id.String())
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Less is antisymmetric and consistent with equality.
+func TestQuickLessAntisymmetric(t *testing.T) {
+	f := func(a, b uint64, ka, kb uint8) bool {
+		x := FromSeed(Kind(1+ka%6), a)
+		y := FromSeed(Kind(1+kb%6), b)
+		if x == y {
+			return !x.Less(y) && !y.Less(x)
+		}
+		return x.Less(y) != y.Less(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	a, b := New(KindPeer), New(KindPeer)
+	if !s.Add(a) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(a) {
+		t.Fatal("second Add returned true")
+	}
+	if !s.Contains(a) || s.Contains(b) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Add(b)
+	snap := s.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d", len(snap))
+	}
+	if !s.Remove(a) {
+		t.Fatal("Remove present returned false")
+	}
+	if s.Remove(a) {
+		t.Fatal("Remove absent returned true")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after remove = %d", s.Len())
+	}
+}
+
+func TestSetConcurrent(t *testing.T) {
+	s := NewSet()
+	const n = 64
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < n; i++ {
+				id := FromSeed(KindMessage, uint64(rng.Intn(32)))
+				s.Add(id)
+				s.Contains(id)
+				if rng.Intn(4) == 0 {
+					s.Remove(id)
+				}
+				s.Len()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if s.Len() > 32 {
+		t.Fatalf("set grew beyond key space: %d", s.Len())
+	}
+}

@@ -1,0 +1,297 @@
+// Package membership implements the JXTA Peer Membership Protocol (PMP).
+//
+// Before sharing a group's resources, a peer obtains the group's
+// membership requirements (apply), submits credentials (join), and may
+// later resign. The group's authority — typically its creator — validates
+// credentials with a pluggable Authenticator and tracks the member
+// roster. Two authenticators ship here: "none" (everybody may join, the
+// default for open event groups like the paper's per-type groups) and
+// "passwd" (a shared secret).
+package membership
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+)
+
+// HandlerName is the resolver handler name of the membership protocol.
+const HandlerName = "jxta.pmp"
+
+// Errors.
+var (
+	ErrDenied   = errors.New("membership: credential rejected")
+	ErrTimeout  = errors.New("membership: request timed out")
+	ErrNotAuth  = errors.New("membership: peer is not a group authority")
+	ErrResigned = errors.New("membership: not a member")
+)
+
+// Authenticator validates join credentials for one group.
+type Authenticator interface {
+	// Name identifies the authentication scheme ("none", "passwd", ...).
+	Name() string
+	// Challenge describes the credential requirements to applicants.
+	Challenge() string
+	// Authenticate accepts or rejects a credential.
+	Authenticate(credential string) error
+}
+
+// NoneAuthenticator admits everyone.
+type NoneAuthenticator struct{}
+
+// Name implements Authenticator.
+func (NoneAuthenticator) Name() string { return "none" }
+
+// Challenge implements Authenticator.
+func (NoneAuthenticator) Challenge() string { return "open group: no credential required" }
+
+// Authenticate implements Authenticator.
+func (NoneAuthenticator) Authenticate(string) error { return nil }
+
+// PasswdAuthenticator admits peers presenting a shared secret.
+type PasswdAuthenticator struct {
+	// Password is the required credential.
+	Password string
+}
+
+// Name implements Authenticator.
+func (PasswdAuthenticator) Name() string { return "passwd" }
+
+// Challenge implements Authenticator.
+func (PasswdAuthenticator) Challenge() string { return "password required" }
+
+// Authenticate implements Authenticator.
+func (a PasswdAuthenticator) Authenticate(credential string) error {
+	if credential != a.Password {
+		return ErrDenied
+	}
+	return nil
+}
+
+var (
+	_ Authenticator = NoneAuthenticator{}
+	_ Authenticator = PasswdAuthenticator{}
+)
+
+// Service is one peer's membership protocol instance for one group. A
+// peer with an Authenticator acts as the group authority; any peer can be
+// a client.
+type Service struct {
+	res  *resolver.Service
+	auth Authenticator // nil: not an authority
+
+	mu      sync.Mutex
+	members map[jid.ID]struct{} // roster (authority side)
+	pending map[uint64]chan wireReply
+	closed  bool
+}
+
+// New creates the membership service. auth may be nil for pure clients.
+func New(res *resolver.Service, auth Authenticator) (*Service, error) {
+	s := &Service{
+		res:     res,
+		auth:    auth,
+		members: make(map[jid.ID]struct{}),
+		pending: make(map[uint64]chan wireReply),
+	}
+	if err := res.RegisterHandler(HandlerName, (*handler)(s)); err != nil {
+		return nil, fmt.Errorf("membership: %w", err)
+	}
+	return s, nil
+}
+
+// Close unregisters the handler and fails all pending requests.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for qid, ch := range s.pending {
+		close(ch)
+		delete(s.pending, qid)
+	}
+	s.mu.Unlock()
+	s.res.UnregisterHandler(HandlerName)
+}
+
+// Requirements holds what an applicant learns from apply.
+type Requirements struct {
+	// Scheme is the authenticator name ("none", "passwd", ...).
+	Scheme string
+	// Challenge is the human-readable credential requirement.
+	Challenge string
+}
+
+// Apply asks the authority at the given address for the group's
+// membership requirements.
+func (s *Service) Apply(authority endpoint.Address, timeout time.Duration) (Requirements, error) {
+	reply, err := s.roundTrip(authority, wireRequest{Op: "apply"}, timeout)
+	if err != nil {
+		return Requirements{}, err
+	}
+	if reply.Err != "" {
+		return Requirements{}, fmt.Errorf("membership: apply: %s", reply.Err)
+	}
+	return Requirements{Scheme: reply.Scheme, Challenge: reply.Challenge}, nil
+}
+
+// Join submits a credential to the authority. On success the peer is on
+// the group roster until it resigns.
+func (s *Service) Join(authority endpoint.Address, credential string, timeout time.Duration) error {
+	reply, err := s.roundTrip(authority, wireRequest{Op: "join", Credential: credential}, timeout)
+	if err != nil {
+		return err
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("%w: %s", ErrDenied, reply.Err)
+	}
+	return nil
+}
+
+// Resign removes this peer from the authority's roster.
+func (s *Service) Resign(authority endpoint.Address, timeout time.Duration) error {
+	reply, err := s.roundTrip(authority, wireRequest{Op: "resign"}, timeout)
+	if err != nil {
+		return err
+	}
+	if reply.Err != "" {
+		return fmt.Errorf("membership: resign: %s", reply.Err)
+	}
+	return nil
+}
+
+// Members returns the roster (authority side).
+func (s *Service) Members() []jid.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]jid.ID, 0, len(s.members))
+	for id := range s.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// IsMember reports whether the peer is on the roster (authority side).
+func (s *Service) IsMember(id jid.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.members[id]
+	return ok
+}
+
+func (s *Service) roundTrip(to endpoint.Address, req wireRequest, timeout time.Duration) (wireReply, error) {
+	payload, err := xml.Marshal(req)
+	if err != nil {
+		return wireReply{}, fmt.Errorf("membership: encode: %w", err)
+	}
+	ch := make(chan wireReply, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return wireReply{}, errors.New("membership: closed")
+	}
+	s.mu.Unlock()
+	qid, err := s.res.SendQuery(to, HandlerName, payload)
+	if err != nil {
+		return wireReply{}, fmt.Errorf("membership: query: %w", err)
+	}
+	s.mu.Lock()
+	s.pending[qid] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, qid)
+		s.mu.Unlock()
+	}()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return wireReply{}, ErrTimeout
+		}
+		return reply, nil
+	case <-time.After(timeout):
+		return wireReply{}, ErrTimeout
+	}
+}
+
+// --- wire formats ---
+
+type wireRequest struct {
+	XMLName    xml.Name `xml:"MembershipRequest"`
+	Op         string   `xml:"Op"`
+	Credential string   `xml:"Credential,omitempty"`
+}
+
+type wireReply struct {
+	XMLName   xml.Name `xml:"MembershipReply"`
+	Scheme    string   `xml:"Scheme,omitempty"`
+	Challenge string   `xml:"Challenge,omitempty"`
+	Err       string   `xml:"Err,omitempty"`
+}
+
+// --- resolver handler ---
+
+type handler Service
+
+var _ resolver.Handler = (*handler)(nil)
+
+// ProcessQuery serves apply/join/resign requests (authority side).
+func (h *handler) ProcessQuery(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+	s := (*Service)(h)
+	var req wireRequest
+	if err := xml.Unmarshal(q.Payload, &req); err != nil {
+		return nil, err
+	}
+	if s.auth == nil {
+		return xml.Marshal(wireReply{Err: ErrNotAuth.Error()})
+	}
+	switch req.Op {
+	case "apply":
+		return xml.Marshal(wireReply{Scheme: s.auth.Name(), Challenge: s.auth.Challenge()})
+	case "join":
+		if err := s.auth.Authenticate(req.Credential); err != nil {
+			return xml.Marshal(wireReply{Err: err.Error()})
+		}
+		s.mu.Lock()
+		s.members[q.Src] = struct{}{}
+		s.mu.Unlock()
+		return xml.Marshal(wireReply{Scheme: s.auth.Name()})
+	case "resign":
+		s.mu.Lock()
+		_, was := s.members[q.Src]
+		delete(s.members, q.Src)
+		s.mu.Unlock()
+		if !was {
+			return xml.Marshal(wireReply{Err: ErrResigned.Error()})
+		}
+		return xml.Marshal(wireReply{})
+	default:
+		return xml.Marshal(wireReply{Err: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+// ProcessResponse routes replies to waiting round trips (client side).
+func (h *handler) ProcessResponse(r resolver.Response, _ endpoint.Address) {
+	s := (*Service)(h)
+	var reply wireReply
+	if err := xml.Unmarshal(r.Payload, &reply); err != nil {
+		return
+	}
+	s.mu.Lock()
+	ch, ok := s.pending[r.QueryID]
+	s.mu.Unlock()
+	if ok {
+		select {
+		case ch <- reply:
+		default:
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package membership_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/membership"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+type testPeer struct {
+	ep  *endpoint.Service
+	res *resolver.Service
+	pmp *membership.Service
+}
+
+func newPair(t *testing.T, auth membership.Authenticator) (authority, client *testPeer) {
+	t.Helper()
+	net := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(net.Close)
+	mk := func(name string, seed uint64, a membership.Authenticator) *testPeer {
+		node, err := net.AddNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+		if err := ep.AddTransport(memnet.New(node)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := resolver.New(ep, nil, "g1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pmp, err := membership.New(res, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &testPeer{ep: ep, res: res, pmp: pmp}
+		t.Cleanup(func() {
+			p.pmp.Close()
+			p.res.Close()
+			_ = p.ep.Close()
+		})
+		return p
+	}
+	return mk("authority", 1, auth), mk("client", 2, nil)
+}
+
+func TestApplyJoinResignOpenGroup(t *testing.T) {
+	authority, client := newPair(t, membership.NoneAuthenticator{})
+	req, err := client.pmp.Apply("mem://authority", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Scheme != "none" || req.Challenge == "" {
+		t.Fatalf("requirements %+v", req)
+	}
+	if err := client.pmp.Join("mem://authority", "", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !authority.pmp.IsMember(client.ep.PeerID()) {
+		t.Fatal("client not on roster after join")
+	}
+	if got := authority.pmp.Members(); len(got) != 1 {
+		t.Fatalf("roster size %d", len(got))
+	}
+	if err := client.pmp.Resign("mem://authority", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if authority.pmp.IsMember(client.ep.PeerID()) {
+		t.Fatal("client still on roster after resign")
+	}
+}
+
+func TestPasswordAuthenticator(t *testing.T) {
+	authority, client := newPair(t, membership.PasswdAuthenticator{Password: "sesame"})
+	req, err := client.pmp.Apply("mem://authority", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Scheme != "passwd" {
+		t.Fatalf("scheme %q", req.Scheme)
+	}
+	if err := client.pmp.Join("mem://authority", "wrong", 5*time.Second); !errors.Is(err, membership.ErrDenied) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if authority.pmp.IsMember(client.ep.PeerID()) {
+		t.Fatal("denied client on roster")
+	}
+	if err := client.pmp.Join("mem://authority", "sesame", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !authority.pmp.IsMember(client.ep.PeerID()) {
+		t.Fatal("client not on roster")
+	}
+}
+
+func TestResignWithoutJoin(t *testing.T) {
+	_, client := newPair(t, membership.NoneAuthenticator{})
+	if err := client.pmp.Resign("mem://authority", 5*time.Second); err == nil {
+		t.Fatal("resign without membership succeeded")
+	}
+}
+
+func TestNonAuthorityRejectsEverything(t *testing.T) {
+	// Both peers are clients: asking a non-authority must error, not hang.
+	_, client := newPair(t, nil)
+	if _, err := client.pmp.Apply("mem://authority", 2*time.Second); err == nil {
+		t.Fatal("apply to non-authority succeeded")
+	}
+}
+
+func TestTimeoutAgainstDeadPeer(t *testing.T) {
+	_, client := newPair(t, membership.NoneAuthenticator{})
+	// mem://ghost does not exist: SendQuery fails fast.
+	if _, err := client.pmp.Apply("mem://ghost", 200*time.Millisecond); err == nil {
+		t.Fatal("apply to ghost succeeded")
+	}
+}
+
+func TestAuthenticatorContracts(t *testing.T) {
+	var a membership.Authenticator = membership.NoneAuthenticator{}
+	if err := a.Authenticate("anything"); err != nil {
+		t.Fatal(err)
+	}
+	p := membership.PasswdAuthenticator{Password: "x"}
+	if err := p.Authenticate("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Authenticate(""); !errors.Is(err, membership.ErrDenied) {
+		t.Fatalf("err = %v", err)
+	}
+}

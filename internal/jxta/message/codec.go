@@ -1,0 +1,251 @@
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// Wire format (all integers big-endian):
+//
+//	magic   [4]byte  "JXM1"
+//	version uint8    currently 1
+//	id      [17]byte kind byte + 16 UUID bytes
+//	src     [17]byte
+//	ttl     uint8
+//	plen    uint8    path length
+//	path    plen × [17]byte
+//	count   uint16   element count
+//	count × element:
+//	  nslen   uint16, ns    []byte
+//	  namelen uint16, name  []byte
+//	  mimelen uint16, mime  []byte
+//	  datalen uint32, data  []byte
+//
+// The format is deliberately simple: it is the moral equivalent of JXTA's
+// binary message wire format, and the paper's 1910-byte test messages fit
+// in a single frame.
+
+var wireMagic = [4]byte{'J', 'X', 'M', '1'}
+
+const wireVersion = 1
+
+// Decode errors.
+var (
+	ErrBadMagic   = errors.New("message: bad magic")
+	ErrBadVersion = errors.New("message: unsupported version")
+	ErrTruncated  = errors.New("message: truncated frame")
+)
+
+func putID(buf []byte, id jid.ID) []byte {
+	buf = append(buf, byte(id.Kind()))
+	u := id.UUID()
+	return append(buf, u[:]...)
+}
+
+func readID(r io.Reader) (jid.ID, error) {
+	var raw [17]byte
+	if _, err := io.ReadFull(r, raw[:]); err != nil {
+		return jid.Nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if raw == ([17]byte{}) {
+		return jid.Nil, nil
+	}
+	// Round-trip through the canonical text form so kind validation lives
+	// in one place (jid.Parse).
+	hexID := make([]byte, 0, 17)
+	hexID = append(hexID, raw[1:]...)
+	hexID = append(hexID, raw[0])
+	id, err := jid.Parse("urn:jxta:uuid-" + hexEncode(hexID))
+	if err != nil {
+		return jid.Nil, fmt.Errorf("message: bad ID: %w", err)
+	}
+	return id, nil
+}
+
+func hexEncode(b []byte) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 2*len(b))
+	for i, v := range b {
+		out[2*i] = digits[v>>4]
+		out[2*i+1] = digits[v&0x0f]
+	}
+	return string(out)
+}
+
+// Marshal encodes the message into a single wire frame.
+func (m *Message) Marshal() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, m.WireSize())
+	buf = append(buf, wireMagic[:]...)
+	buf = append(buf, wireVersion)
+	buf = putID(buf, m.ID)
+	buf = putID(buf, m.Src)
+	buf = append(buf, m.TTL)
+	buf = append(buf, byte(len(m.Path)))
+	for _, p := range m.Path {
+		buf = putID(buf, p)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.elements)))
+	for _, e := range m.elements {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Namespace)))
+		buf = append(buf, e.Namespace...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Name)))
+		buf = append(buf, e.Name...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.MimeType)))
+		buf = append(buf, e.MimeType...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Data)))
+		buf = append(buf, e.Data...)
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes one wire frame produced by Marshal.
+func Unmarshal(frame []byte) (*Message, error) {
+	r := &sliceReader{buf: frame}
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if magic != wireMagic {
+		return nil, ErrBadMagic
+	}
+	ver, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	m := &Message{}
+	if m.ID, err = readID(r); err != nil {
+		return nil, err
+	}
+	if m.Src, err = readID(r); err != nil {
+		return nil, err
+	}
+	if m.TTL, err = r.byte(); err != nil {
+		return nil, err
+	}
+	plen, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if int(plen) > MaxPathLen {
+		return nil, fmt.Errorf("%w: path length %d", ErrTooLarge, plen)
+	}
+	if plen > 0 {
+		m.Path = make([]jid.ID, plen)
+		for i := range m.Path {
+			if m.Path[i], err = readID(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	count, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > MaxElements {
+		return nil, fmt.Errorf("%w: %d elements", ErrTooLarge, count)
+	}
+	m.elements = make([]Element, 0, count)
+	for i := 0; i < int(count); i++ {
+		var e Element
+		if e.Namespace, err = r.shortString(); err != nil {
+			return nil, err
+		}
+		if e.Name, err = r.shortString(); err != nil {
+			return nil, err
+		}
+		if e.MimeType, err = r.shortString(); err != nil {
+			return nil, err
+		}
+		dlen, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if dlen > MaxElementSize {
+			return nil, fmt.Errorf("%w: element payload %d bytes", ErrTooLarge, dlen)
+		}
+		if e.Data, err = r.take(int(dlen)); err != nil {
+			return nil, err
+		}
+		m.elements = append(m.elements, e)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("message: %d trailing bytes", r.remaining())
+	}
+	return m, nil
+}
+
+// sliceReader is a zero-copy cursor over a decode buffer. take returns
+// copies so the decoded message does not alias the network buffer.
+type sliceReader struct {
+	buf []byte
+	off int
+}
+
+func (r *sliceReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *sliceReader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, ErrTruncated
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *sliceReader) uint16() (uint16, error) {
+	if r.remaining() < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *sliceReader) uint32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *sliceReader) take(n int) ([]byte, error) {
+	if r.remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out, nil
+}
+
+func (r *sliceReader) shortString() (string, error) {
+	n, err := r.uint16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

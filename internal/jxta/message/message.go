@@ -1,0 +1,221 @@
+// Package message implements JXTA messages.
+//
+// A message is an ordered sequence of named elements, each carrying a MIME
+// type and an opaque byte payload, together with an envelope used by the
+// transport and propagation machinery: a message UUID (duplicate
+// suppression in propagated pipes), the source peer ID, a TTL and the list
+// of peers already visited (loop suppression in rendezvous propagation).
+//
+// The binary wire codec in codec.go is the only representation that
+// crosses the network; in-process the Message struct is shared by value of
+// its handle, so senders must Dup before mutating (mirroring JXTA's
+// msg.dup()).
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// Element is one named part of a message.
+type Element struct {
+	// Namespace scopes the element name; services use their own namespace
+	// (e.g. "jxta", "wire", "tps") to avoid clashing with application
+	// elements.
+	Namespace string
+	// Name identifies the element within its namespace.
+	Name string
+	// MimeType describes Data; empty means "application/octet-stream".
+	MimeType string
+	// Data is the payload. It is owned by the message; callers must not
+	// retain slices passed to AddElement after the call.
+	Data []byte
+}
+
+// Key returns the namespace-qualified element name.
+func (e Element) Key() string { return e.Namespace + ":" + e.Name }
+
+// Message is a unit of communication between peers.
+type Message struct {
+	// ID is the message UUID. Propagated pipes use it to drop duplicates.
+	ID jid.ID
+	// Src is the peer that created the message.
+	Src jid.ID
+	// TTL is the remaining propagation hop budget. A message with TTL 0
+	// is delivered locally but never forwarded.
+	TTL uint8
+	// Path lists the peers the message already visited, newest last.
+	// Rendezvous peers use it to suppress propagation loops.
+	Path []jid.ID
+
+	elements []Element
+}
+
+// DefaultTTL is the hop budget assigned by New. Seven hops comfortably
+// covers rendezvous meshes of practical diameter.
+const DefaultTTL = 7
+
+// New returns an empty message with a fresh UUID and the default TTL.
+func New(src jid.ID) *Message {
+	return &Message{ID: jid.NewMessage(), Src: src, TTL: DefaultTTL}
+}
+
+// AddElement appends an element to the message.
+func (m *Message) AddElement(e Element) {
+	m.elements = append(m.elements, e)
+}
+
+// AddBytes appends an element with the given payload and the default MIME
+// type.
+func (m *Message) AddBytes(namespace, name string, data []byte) {
+	m.AddElement(Element{Namespace: namespace, Name: name, Data: data})
+}
+
+// AddString appends a text element.
+func (m *Message) AddString(namespace, name, value string) {
+	m.AddElement(Element{Namespace: namespace, Name: name, MimeType: "text/plain", Data: []byte(value)})
+}
+
+// Element returns the first element with the given namespace and name.
+func (m *Message) Element(namespace, name string) (Element, bool) {
+	for _, e := range m.elements {
+		if e.Namespace == namespace && e.Name == name {
+			return e, true
+		}
+	}
+	return Element{}, false
+}
+
+// Text returns the payload of the named text element, or "" if absent.
+func (m *Message) Text(namespace, name string) string {
+	e, ok := m.Element(namespace, name)
+	if !ok {
+		return ""
+	}
+	return string(e.Data)
+}
+
+// Bytes returns the payload of the named element, or nil if absent.
+func (m *Message) Bytes(namespace, name string) []byte {
+	e, ok := m.Element(namespace, name)
+	if !ok {
+		return nil
+	}
+	return e.Data
+}
+
+// ReplaceElement replaces the first element matching e's namespace and
+// name, or appends e if no such element exists.
+func (m *Message) ReplaceElement(e Element) {
+	for i := range m.elements {
+		if m.elements[i].Namespace == e.Namespace && m.elements[i].Name == e.Name {
+			m.elements[i] = e
+			return
+		}
+	}
+	m.AddElement(e)
+}
+
+// RemoveElement removes the first element with the given namespace and
+// name and reports whether one was removed.
+func (m *Message) RemoveElement(namespace, name string) bool {
+	for i := range m.elements {
+		if m.elements[i].Namespace == namespace && m.elements[i].Name == name {
+			m.elements = append(m.elements[:i], m.elements[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Elements returns a copy of the element list. Payload byte slices are
+// shared; treat them as read-only.
+func (m *Message) Elements() []Element {
+	out := make([]Element, len(m.elements))
+	copy(out, m.elements)
+	return out
+}
+
+// Len returns the number of elements.
+func (m *Message) Len() int { return len(m.elements) }
+
+// Visited reports whether peer is already on the message path.
+func (m *Message) Visited(peer jid.ID) bool {
+	for _, p := range m.Path {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// Stamp appends peer to the path and decrements the TTL. It reports false
+// if the TTL was already exhausted or the peer had been visited, in which
+// case the message must not be forwarded.
+func (m *Message) Stamp(peer jid.ID) bool {
+	if m.TTL == 0 || m.Visited(peer) {
+		return false
+	}
+	m.TTL--
+	m.Path = append(m.Path, peer)
+	return true
+}
+
+// Dup returns a deep copy of the message, including payload bytes. The
+// copy keeps the same message ID: duplicate suppression must treat a
+// re-sent message as the same logical event, as JXTA's msg.dup() does.
+func (m *Message) Dup() *Message {
+	out := &Message{ID: m.ID, Src: m.Src, TTL: m.TTL}
+	out.Path = append([]jid.ID(nil), m.Path...)
+	out.elements = make([]Element, len(m.elements))
+	for i, e := range m.elements {
+		out.elements[i] = Element{
+			Namespace: e.Namespace,
+			Name:      e.Name,
+			MimeType:  e.MimeType,
+			Data:      append([]byte(nil), e.Data...),
+		}
+	}
+	return out
+}
+
+// WireSize returns the exact encoded size in bytes without encoding.
+func (m *Message) WireSize() int {
+	n := 4 + 1 + 2*17 + 1 + 1 + len(m.Path)*17 + 2 // magic, version, ids, ttl, plen, path, count
+	for _, e := range m.elements {
+		n += 2 + len(e.Namespace) + 2 + len(e.Name) + 2 + len(e.MimeType) + 4 + len(e.Data)
+	}
+	return n
+}
+
+// Validation limits for the wire codec. They bound what a malicious or
+// corrupt peer can make the decoder allocate.
+const (
+	MaxElements    = 1024
+	MaxElementSize = 16 << 20 // 16 MiB per element payload
+	MaxPathLen     = 64
+)
+
+// ErrTooLarge is returned when a message violates the codec limits.
+var ErrTooLarge = errors.New("message: exceeds wire limits")
+
+// Validate checks the message against the wire limits.
+func (m *Message) Validate() error {
+	if len(m.elements) > MaxElements {
+		return fmt.Errorf("%w: %d elements", ErrTooLarge, len(m.elements))
+	}
+	if len(m.Path) > MaxPathLen {
+		return fmt.Errorf("%w: path length %d", ErrTooLarge, len(m.Path))
+	}
+	for _, e := range m.elements {
+		if len(e.Data) > MaxElementSize {
+			return fmt.Errorf("%w: element %s is %d bytes", ErrTooLarge, e.Key(), len(e.Data))
+		}
+		if len(e.Namespace) > 255 || len(e.Name) > 255 || len(e.MimeType) > 255 {
+			return fmt.Errorf("%w: element header fields exceed 255 bytes", ErrTooLarge)
+		}
+	}
+	return nil
+}

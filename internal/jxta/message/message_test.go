@@ -1,0 +1,346 @@
+package message
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+func testMsg() *Message {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	m.AddString("jxta", "service", "discovery")
+	m.AddBytes("app", "payload", []byte{0, 1, 2, 3, 255})
+	m.AddElement(Element{Namespace: "wire", Name: "seq", MimeType: "text/plain", Data: []byte("42")})
+	return m
+}
+
+func TestNewDefaults(t *testing.T) {
+	src := jid.FromSeed(jid.KindPeer, 7)
+	m := New(src)
+	if m.Src != src {
+		t.Fatalf("Src = %v", m.Src)
+	}
+	if m.TTL != DefaultTTL {
+		t.Fatalf("TTL = %d", m.TTL)
+	}
+	if m.ID.Kind() != jid.KindMessage {
+		t.Fatalf("ID kind = %v", m.ID.Kind())
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestElementAccess(t *testing.T) {
+	m := testMsg()
+	e, ok := m.Element("jxta", "service")
+	if !ok || string(e.Data) != "discovery" {
+		t.Fatalf("Element = %+v, %v", e, ok)
+	}
+	if _, ok := m.Element("jxta", "absent"); ok {
+		t.Fatal("found absent element")
+	}
+	if _, ok := m.Element("absent", "service"); ok {
+		t.Fatal("namespace not honoured")
+	}
+	if got := m.Text("wire", "seq"); got != "42" {
+		t.Fatalf("Text = %q", got)
+	}
+	if got := m.Text("wire", "nope"); got != "" {
+		t.Fatalf("Text(absent) = %q", got)
+	}
+	if got := m.Bytes("app", "payload"); !bytes.Equal(got, []byte{0, 1, 2, 3, 255}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := m.Bytes("app", "nope"); got != nil {
+		t.Fatalf("Bytes(absent) = %v", got)
+	}
+	if e.Key() != "jxta:service" {
+		t.Fatalf("Key = %q", e.Key())
+	}
+}
+
+func TestReplaceAndRemove(t *testing.T) {
+	m := testMsg()
+	m.ReplaceElement(Element{Namespace: "wire", Name: "seq", Data: []byte("43")})
+	if got := string(m.Bytes("wire", "seq")); got != "43" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("replace added element: Len=%d", m.Len())
+	}
+	m.ReplaceElement(Element{Namespace: "wire", Name: "new", Data: []byte("x")})
+	if m.Len() != 4 {
+		t.Fatal("replace of absent did not append")
+	}
+	if !m.RemoveElement("wire", "new") {
+		t.Fatal("remove existing returned false")
+	}
+	if m.RemoveElement("wire", "new") {
+		t.Fatal("remove absent returned true")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len after remove = %d", m.Len())
+	}
+}
+
+func TestElementsIsCopy(t *testing.T) {
+	m := testMsg()
+	els := m.Elements()
+	els[0].Name = "mutated"
+	if _, ok := m.Element("jxta", "service"); !ok {
+		t.Fatal("mutating Elements() result affected message")
+	}
+}
+
+func TestStampAndVisited(t *testing.T) {
+	m := testMsg()
+	p1 := jid.FromSeed(jid.KindPeer, 11)
+	p2 := jid.FromSeed(jid.KindPeer, 12)
+	if m.Visited(p1) {
+		t.Fatal("fresh message claims visit")
+	}
+	if !m.Stamp(p1) {
+		t.Fatal("first stamp failed")
+	}
+	if m.TTL != DefaultTTL-1 {
+		t.Fatalf("TTL = %d", m.TTL)
+	}
+	if !m.Visited(p1) {
+		t.Fatal("Visited false after stamp")
+	}
+	if m.Stamp(p1) {
+		t.Fatal("re-stamp by same peer allowed")
+	}
+	m.TTL = 0
+	if m.Stamp(p2) {
+		t.Fatal("stamp allowed with TTL 0")
+	}
+}
+
+func TestDupIsDeep(t *testing.T) {
+	m := testMsg()
+	m.Stamp(jid.FromSeed(jid.KindPeer, 9))
+	d := m.Dup()
+	if d.ID != m.ID {
+		t.Fatal("Dup changed message ID")
+	}
+	if !reflect.DeepEqual(d.Elements(), m.Elements()) {
+		t.Fatal("Dup elements differ")
+	}
+	d.Bytes("app", "payload")[0] = 99
+	if m.Bytes("app", "payload")[0] == 99 {
+		t.Fatal("Dup shares payload bytes")
+	}
+	d.Path[0] = jid.FromSeed(jid.KindPeer, 1000)
+	if m.Path[0] == d.Path[0] {
+		t.Fatal("Dup shares path slice")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	m := testMsg()
+	m.Stamp(jid.FromSeed(jid.KindPeer, 2))
+	m.Stamp(jid.FromSeed(jid.KindPeer, 3))
+	frame, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != m.WireSize() {
+		t.Fatalf("frame len %d != WireSize %d", len(frame), m.WireSize())
+	}
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != m.ID || got.Src != m.Src || got.TTL != m.TTL {
+		t.Fatalf("envelope mismatch: %+v vs %+v", got, m)
+	}
+	if !reflect.DeepEqual(got.Path, m.Path) {
+		t.Fatalf("path mismatch: %v vs %v", got.Path, m.Path)
+	}
+	if !reflect.DeepEqual(got.Elements(), m.Elements()) {
+		t.Fatal("elements mismatch")
+	}
+}
+
+func TestMarshalEmptyMessage(t *testing.T) {
+	m := New(jid.Nil)
+	frame, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || !got.Src.IsZero() {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	m := testMsg()
+	frame, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[0] = 'X'
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[4] = 99
+		if _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 1; cut < len(frame); cut += 7 {
+			if _, err := Unmarshal(frame[:len(frame)-cut]); err == nil {
+				t.Fatalf("truncated frame (cut %d) decoded", cut)
+			}
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		bad := append(append([]byte(nil), frame...), 0xEE)
+		if _, err := Unmarshal(bad); err == nil || !strings.Contains(err.Error(), "trailing") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Unmarshal(nil); err == nil {
+			t.Fatal("nil frame decoded")
+		}
+	})
+}
+
+func TestValidateLimits(t *testing.T) {
+	m := New(jid.Nil)
+	m.AddElement(Element{Namespace: strings.Repeat("n", 300), Name: "x"})
+	if err := m.Validate(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("long namespace: %v", err)
+	}
+
+	m = New(jid.Nil)
+	for i := 0; i <= MaxElements; i++ {
+		m.AddBytes("a", "b", nil)
+	}
+	if err := m.Validate(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("too many elements: %v", err)
+	}
+
+	m = New(jid.Nil)
+	m.Path = make([]jid.ID, MaxPathLen+1)
+	if err := m.Validate(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("long path: %v", err)
+	}
+	if _, err := m.Marshal(); err == nil {
+		t.Fatal("Marshal accepted invalid message")
+	}
+}
+
+// elementsEquivalent compares element lists treating nil and empty
+// payloads as equal: the wire format cannot distinguish them.
+func elementsEquivalent(a, b []Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Namespace != b[i].Namespace || a[i].Name != b[i].Name ||
+			a[i].MimeType != b[i].MimeType || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: arbitrary messages survive a Marshal/Unmarshal round trip.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(srcSeed uint64, ttl uint8, nElems uint8, payload []byte) bool {
+		m := New(jid.FromSeed(jid.KindPeer, srcSeed))
+		m.TTL = ttl
+		for i := 0; i < int(nElems%16); i++ {
+			m.AddElement(Element{
+				Namespace: "ns" + string(rune('a'+i%3)),
+				Name:      "el" + string(rune('a'+i%5)),
+				MimeType:  "application/test",
+				Data:      payload,
+			})
+		}
+		for i := 0; i < rng.Intn(4); i++ {
+			m.Path = append(m.Path, jid.FromSeed(jid.KindPeer, uint64(i)))
+		}
+		frame, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		return got.ID == m.ID && got.Src == m.Src && got.TTL == m.TTL &&
+			elementsEquivalent(got.Elements(), m.Elements()) &&
+			reflect.DeepEqual(got.Path, m.Path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a decoded frame does not alias the input buffer.
+func TestUnmarshalCopiesData(t *testing.T) {
+	m := testMsg()
+	frame, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 0
+	}
+	if string(got.Bytes("jxta", "service")) != "discovery" {
+		t.Fatal("decoded message aliases the frame buffer")
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	m.AddBytes("bench", "payload", bytes.Repeat([]byte{0xAB}, 1910)) // paper's message size
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	m.AddBytes("bench", "payload", bytes.Repeat([]byte{0xAB}, 1910))
+	frame, err := m.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package peer assembles a complete JXTA peer: an endpoint with its
+// transports, the bootstrap net peer group, and the groups the peer
+// joins over its lifetime.
+//
+// Any networked device is a peer; peers with extra duties (rendezvous,
+// relay/router) are just peers configured with those roles. A peer that
+// crashes and restarts keeps its identity (its ID), which is what lets
+// pipes re-bind to it wherever it reappears.
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/peergroup"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+// Errors.
+var (
+	ErrClosed       = errors.New("peer: closed")
+	ErrNoTransports = errors.New("peer: no transports")
+	ErrAlreadyIn    = errors.New("peer: already joined group")
+	ErrNoWireInAdv  = errors.New("peer: advertisement has no wire service pipe")
+)
+
+// Config configures a peer.
+type Config struct {
+	// Name is the peer's human-readable name.
+	Name string
+	// ID fixes the peer identity; zero generates a fresh one. Restarted
+	// peers pass their old ID to keep their pipes and advertisements.
+	ID jid.ID
+	// Role is the peer's default role in joined groups.
+	Role rendezvous.Role
+	// Seeds are the default rendezvous addresses for joined groups.
+	Seeds []endpoint.Address
+	// LeaseTTL overrides the rendezvous lease duration.
+	LeaseTTL time.Duration
+	// Firewalled marks the peer as unable to accept unsolicited inbound
+	// traffic.
+	Firewalled bool
+}
+
+// Peer is a running JXTA peer.
+type Peer struct {
+	cfg Config
+	ep  *endpoint.Service
+
+	// joinMu serialises JoinGroup: constructing two stacks for the same
+	// group concurrently would collide on endpoint handler registration.
+	joinMu sync.Mutex
+
+	mu     sync.Mutex
+	groups map[jid.ID]*peergroup.Group
+	net    *peergroup.Group
+	closed bool
+}
+
+// New starts a peer with the given transports and joins the net peer
+// group.
+func New(cfg Config, transports ...endpoint.Transport) (*Peer, error) {
+	if len(transports) == 0 {
+		return nil, ErrNoTransports
+	}
+	if cfg.ID.IsZero() {
+		cfg.ID = jid.NewPeer()
+	}
+	if cfg.Role == 0 {
+		cfg.Role = rendezvous.RoleEdge
+	}
+	ep := endpoint.New(cfg.ID)
+	for _, t := range transports {
+		if err := ep.AddTransport(t); err != nil {
+			_ = ep.Close()
+			return nil, fmt.Errorf("peer %q: %w", cfg.Name, err)
+		}
+	}
+	p := &Peer{cfg: cfg, ep: ep, groups: make(map[jid.ID]*peergroup.Group)}
+	netGroup, err := p.JoinGroup(peergroup.Config{
+		ID:   jid.NetGroup,
+		Name: "NetPeerGroup",
+	})
+	if err != nil {
+		_ = ep.Close()
+		return nil, err
+	}
+	p.net = netGroup
+	return p, nil
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() jid.ID { return p.cfg.ID }
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.cfg.Name }
+
+// Endpoint exposes the endpoint service (stats, addresses).
+func (p *Peer) Endpoint() *endpoint.Service { return p.ep }
+
+// Addresses returns the peer's reachable addresses, best first.
+func (p *Peer) Addresses() []endpoint.Address { return p.ep.LocalAddresses() }
+
+// NetGroup returns the bootstrap group every peer joins at start.
+func (p *Peer) NetGroup() *peergroup.Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.net
+}
+
+// Group returns the joined group with the given ID.
+func (p *Peer) Group(id jid.ID) (*peergroup.Group, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.groups[id]
+	return g, ok
+}
+
+// Groups lists all joined groups.
+func (p *Peer) Groups() []*peergroup.Group {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*peergroup.Group, 0, len(p.groups))
+	for _, g := range p.groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// JoinGroup instantiates the group's service stack on this peer. Fields
+// left zero in cfg inherit the peer's defaults (role, seeds, lease,
+// firewall).
+func (p *Peer) JoinGroup(cfg peergroup.Config) (*peergroup.Group, error) {
+	if cfg.Role == 0 {
+		cfg.Role = p.cfg.Role
+	}
+	if cfg.Seeds == nil {
+		cfg.Seeds = p.cfg.Seeds
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = p.cfg.LeaseTTL
+	}
+	if !cfg.Firewalled {
+		cfg.Firewalled = p.cfg.Firewalled
+	}
+	if cfg.ID.IsZero() {
+		cfg.ID = jid.NetGroup
+	}
+	p.joinMu.Lock()
+	defer p.joinMu.Unlock()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := p.groups[cfg.ID]; ok {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrAlreadyIn, cfg.ID)
+	}
+	p.mu.Unlock()
+
+	g, err := peergroup.New(p.ep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		g.Close()
+		return nil, ErrClosed
+	}
+	p.groups[cfg.ID] = g
+	p.mu.Unlock()
+	return g, nil
+}
+
+// JoinGroupFromAdv joins the group described by a peer-group
+// advertisement found in discovery, mirroring the paper's
+// WireServiceFinder: it extracts the embedded wire service and returns
+// the propagated pipe advertisement to open input/output pipes with.
+func (p *Peer) JoinGroupFromAdv(pg *adv.PeerGroupAdv) (*peergroup.Group, *adv.PipeAdv, error) {
+	svc, ok := pg.Service(wire.ServiceName)
+	if !ok || svc.Pipe == nil {
+		return nil, nil, fmt.Errorf("%w (group %q)", ErrNoWireInAdv, pg.Name)
+	}
+	g, err := p.JoinGroup(peergroup.Config{ID: pg.GroupID, Name: pg.Name})
+	if err != nil {
+		if errors.Is(err, ErrAlreadyIn) {
+			if existing, found := p.Group(pg.GroupID); found {
+				return existing, svc.Pipe, nil
+			}
+		}
+		return nil, nil, err
+	}
+	return g, svc.Pipe, nil
+}
+
+// LeaveGroup tears down the group's service stack on this peer.
+func (p *Peer) LeaveGroup(id jid.ID) {
+	p.mu.Lock()
+	g, ok := p.groups[id]
+	delete(p.groups, id)
+	if p.net != nil && ok && g == p.net {
+		p.net = nil
+	}
+	p.mu.Unlock()
+	if ok {
+		g.Close()
+	}
+}
+
+// SelfAdvertisement builds this peer's advertisement for publication in
+// discovery.
+func (p *Peer) SelfAdvertisement() *adv.PeerAdv {
+	pa := &adv.PeerAdv{
+		PeerID:     p.cfg.ID,
+		GroupID:    jid.NetGroup,
+		Name:       p.cfg.Name,
+		Rendezvous: p.cfg.Role == rendezvous.RoleRendezvous,
+	}
+	for _, a := range p.ep.LocalAddresses() {
+		pa.Addresses = append(pa.Addresses, string(a))
+	}
+	return pa
+}
+
+// AnnounceSelf publishes the peer advertisement in the net group, both
+// locally and into the mesh.
+func (p *Peer) AnnounceSelf() error {
+	net := p.NetGroup()
+	if net == nil {
+		return ErrClosed
+	}
+	return net.Discovery.RemotePublish(p.SelfAdvertisement(), 0)
+}
+
+// Close leaves all groups and shuts the endpoint down.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	groups := make([]*peergroup.Group, 0, len(p.groups))
+	for _, g := range p.groups {
+		groups = append(groups, g)
+	}
+	p.groups = map[jid.ID]*peergroup.Group{}
+	p.net = nil
+	p.mu.Unlock()
+	for _, g := range groups {
+		g.Close()
+	}
+	_ = p.ep.Close()
+}

@@ -1,0 +1,219 @@
+// Package peergroup composes the JXTA protocol services into peer
+// groups.
+//
+// A peer group is a scoped, monitored environment: each group a peer
+// joins gets its own rendezvous client, resolver, discovery, router,
+// pipe, wire, membership and peer-info service instances, all
+// parameterised by the group ID so two groups never see each other's
+// traffic. There is no hierarchy between groups; a peer may join many to
+// share different resources — the paper's TPS layer joins one group per
+// event type.
+package peergroup
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/discovery"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/membership"
+	"github.com/tps-p2p/tps/internal/jxta/peerinfo"
+	"github.com/tps-p2p/tps/internal/jxta/pipe"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/route"
+	"github.com/tps-p2p/tps/internal/jxta/wire"
+)
+
+// ErrNilEndpoint is returned when no endpoint service is supplied.
+var ErrNilEndpoint = errors.New("peergroup: nil endpoint")
+
+// Config configures a group instance on one peer.
+type Config struct {
+	// ID identifies the group; jid.NetGroup is the bootstrap group.
+	ID jid.ID
+	// Name is the human-readable group name.
+	Name string
+	// Role selects edge or rendezvous behaviour inside this group.
+	Role rendezvous.Role
+	// Seeds are rendezvous addresses for this group.
+	Seeds []endpoint.Address
+	// LeaseTTL overrides the rendezvous lease duration.
+	LeaseTTL time.Duration
+	// Firewalled marks this peer as unreachable for unsolicited inbound
+	// traffic (drives the routing behaviour).
+	Firewalled bool
+	// Authenticator, when set, makes this peer a membership authority
+	// for the group.
+	Authenticator membership.Authenticator
+	// DisableWireDedupe turns off wire-level duplicate suppression
+	// (ablation benchmarks only).
+	DisableWireDedupe bool
+}
+
+// Group is one peer's instance of a peer group: the full protocol stack
+// scoped to the group ID.
+type Group struct {
+	id   jid.ID
+	name string
+	ep   *endpoint.Service
+
+	Rendezvous *rendezvous.Service
+	Resolver   *resolver.Service
+	Discovery  *discovery.Service
+	Router     *route.Router
+	Pipes      *pipe.Service
+	Wire       *wire.Service
+	Membership *membership.Service
+	PeerInfo   *peerinfo.Service
+}
+
+// New instantiates the group's service stack on the given endpoint.
+func New(ep *endpoint.Service, cfg Config) (*Group, error) {
+	if ep == nil {
+		return nil, ErrNilEndpoint
+	}
+	if cfg.ID.IsZero() {
+		cfg.ID = jid.NetGroup
+	}
+	if cfg.Role == 0 {
+		cfg.Role = rendezvous.RoleEdge
+	}
+	param := cfg.ID.String()
+
+	g := &Group{id: cfg.ID, name: cfg.Name, ep: ep}
+	var err error
+	teardown := func() { g.Close() }
+
+	g.Rendezvous, err = rendezvous.New(ep, rendezvous.Config{
+		Role:       cfg.Role,
+		GroupParam: param,
+		Seeds:      cfg.Seeds,
+		LeaseTTL:   cfg.LeaseTTL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Resolver, err = resolver.New(ep, g.Rendezvous, param); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Discovery, err = discovery.New(g.Resolver); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Router, err = route.New(ep, g.Resolver, route.Config{
+		Group:      param,
+		Relay:      cfg.Role == rendezvous.RoleRendezvous,
+		Firewalled: cfg.Firewalled,
+		Book:       g.Rendezvous,
+	}); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Pipes, err = pipe.New(ep, g.Resolver, pipe.Config{Group: param}); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Wire, err = wire.New(ep, g.Rendezvous, wire.Config{
+		Group:         param,
+		DisableDedupe: cfg.DisableWireDedupe,
+	}); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.Membership, err = membership.New(g.Resolver, cfg.Authenticator); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	if g.PeerInfo, err = peerinfo.New(g.Resolver, ep); err != nil {
+		teardown()
+		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)
+	}
+	return g, nil
+}
+
+// ID returns the group ID.
+func (g *Group) ID() jid.ID { return g.id }
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Param returns the endpoint service parameter scoping this group.
+func (g *Group) Param() string { return g.id.String() }
+
+// PeerID returns the local peer's ID.
+func (g *Group) PeerID() jid.ID { return g.ep.PeerID() }
+
+// LocalAddresses returns the peer's reachable addresses.
+func (g *Group) LocalAddresses() []endpoint.Address { return g.ep.LocalAddresses() }
+
+// AwaitRendezvous blocks until the group holds a rendezvous lease or the
+// timeout elapses. Groups without seeds return false immediately unless
+// this peer is itself a rendezvous.
+func (g *Group) AwaitRendezvous(timeout time.Duration) bool {
+	return g.Rendezvous.AwaitConnected(timeout)
+}
+
+// Advertisement builds this peer's advertisement of the group, embedding
+// the wire service bound to the given pipe — the structure the paper's
+// AdvertisementsCreator assembles by hand (Figure 15).
+func (g *Group) Advertisement(pipeAdv *adv.PipeAdv) *adv.PeerGroupAdv {
+	pg := &adv.PeerGroupAdv{
+		GroupID:    g.id,
+		PeerID:     g.ep.PeerID(),
+		Name:       g.name,
+		GroupImpl:  "go-jxta-stdgroup",
+		App:        "tps",
+		Rendezvous: g.Rendezvous.Role() == rendezvous.RoleRendezvous,
+	}
+	if pipeAdv != nil {
+		pg.SetService(adv.ServiceAdv{
+			Name:     wire.ServiceName,
+			Version:  "1.0",
+			Keywords: pipeAdv.Name,
+			Pipe:     pipeAdv,
+		})
+	}
+	return pg
+}
+
+// Close tears the group's services down in reverse construction order.
+// It is safe to call on a partially constructed group.
+func (g *Group) Close() {
+	if g.PeerInfo != nil {
+		g.PeerInfo.Close()
+		g.PeerInfo = nil
+	}
+	if g.Membership != nil {
+		g.Membership.Close()
+		g.Membership = nil
+	}
+	if g.Wire != nil {
+		g.Wire.Close()
+		g.Wire = nil
+	}
+	if g.Pipes != nil {
+		g.Pipes.Close()
+		g.Pipes = nil
+	}
+	if g.Router != nil {
+		g.Router.Close()
+		g.Router = nil
+	}
+	if g.Discovery != nil {
+		g.Discovery.Close()
+		g.Discovery = nil
+	}
+	if g.Resolver != nil {
+		g.Resolver.Close()
+		g.Resolver = nil
+	}
+	if g.Rendezvous != nil {
+		g.Rendezvous.Close()
+		g.Rendezvous = nil
+	}
+}

@@ -1,0 +1,183 @@
+// Package peerinfo implements the JXTA Peer Information Protocol (PIP).
+//
+// PIP answers "how is that peer doing?": how long it has been up, how
+// much traffic has flowed over its channels, and when it last sent or
+// received. The data comes straight from the endpoint layer's counters;
+// remote peers query it through the resolver.
+package peerinfo
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+)
+
+// HandlerName is the resolver handler name of the protocol.
+const HandlerName = "jxta.pip"
+
+// ErrTimeout is returned when a peer does not answer in time.
+var ErrTimeout = errors.New("peerinfo: request timed out")
+
+// Info is a snapshot of a peer's health counters.
+type Info struct {
+	XMLName  xml.Name `xml:"PeerInfo"`
+	PeerID   jid.ID   `xml:"PeerID"`
+	UptimeMS int64    `xml:"UptimeMS"`
+	MsgsIn   int64    `xml:"MsgsIn"`
+	MsgsOut  int64    `xml:"MsgsOut"`
+	BytesIn  int64    `xml:"BytesIn"`
+	BytesOut int64    `xml:"BytesOut"`
+	// LastInUnixMS / LastOutUnixMS are zero when no traffic has flowed.
+	LastInUnixMS  int64 `xml:"LastInUnixMS,omitempty"`
+	LastOutUnixMS int64 `xml:"LastOutUnixMS,omitempty"`
+}
+
+// Uptime returns the peer's uptime.
+func (i Info) Uptime() time.Duration { return time.Duration(i.UptimeMS) * time.Millisecond }
+
+// StatsSource provides the local counters PIP reports — implemented by
+// *endpoint.Service.
+type StatsSource interface {
+	Stats() endpoint.Stats
+	PeerID() jid.ID
+}
+
+// Service is one peer's PIP instance.
+type Service struct {
+	res *resolver.Service
+	src StatsSource
+	now func() time.Time
+
+	mu      sync.Mutex
+	pending map[uint64]chan Info
+	closed  bool
+}
+
+// Option customises the service.
+type Option func(*Service)
+
+// WithClock substitutes the time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(s *Service) { s.now = now }
+}
+
+// New creates the PIP service.
+func New(res *resolver.Service, src StatsSource, opts ...Option) (*Service, error) {
+	s := &Service{
+		res:     res,
+		src:     src,
+		now:     time.Now,
+		pending: make(map[uint64]chan Info),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := res.RegisterHandler(HandlerName, (*handler)(s)); err != nil {
+		return nil, fmt.Errorf("peerinfo: %w", err)
+	}
+	return s, nil
+}
+
+// Close unregisters the handler and fails pending queries.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for qid, ch := range s.pending {
+		close(ch)
+		delete(s.pending, qid)
+	}
+	s.mu.Unlock()
+	s.res.UnregisterHandler(HandlerName)
+}
+
+// Local returns this peer's own info snapshot.
+func (s *Service) Local() Info {
+	st := s.src.Stats()
+	now := s.now()
+	info := Info{
+		PeerID:   s.src.PeerID(),
+		UptimeMS: st.Uptime(now).Milliseconds(),
+		MsgsIn:   st.MsgsIn,
+		MsgsOut:  st.MsgsOut,
+		BytesIn:  st.BytesIn,
+		BytesOut: st.BytesOut,
+	}
+	if !st.LastIncoming.IsZero() {
+		info.LastInUnixMS = st.LastIncoming.UnixMilli()
+	}
+	if !st.LastOutgoing.IsZero() {
+		info.LastOutUnixMS = st.LastOutgoing.UnixMilli()
+	}
+	return info
+}
+
+// Query fetches the info snapshot of the peer at the given address,
+// blocking until the answer arrives or the timeout elapses.
+func (s *Service) Query(to endpoint.Address, timeout time.Duration) (Info, error) {
+	ch := make(chan Info, 1)
+	qid, err := s.res.SendQuery(to, HandlerName, []byte("<PeerInfoQuery/>"))
+	if err != nil {
+		return Info{}, fmt.Errorf("peerinfo: query: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Info{}, errors.New("peerinfo: closed")
+	}
+	s.pending[qid] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, qid)
+		s.mu.Unlock()
+	}()
+	select {
+	case info, ok := <-ch:
+		if !ok {
+			return Info{}, ErrTimeout
+		}
+		return info, nil
+	case <-time.After(timeout):
+		return Info{}, ErrTimeout
+	}
+}
+
+// --- resolver handler ---
+
+type handler Service
+
+var _ resolver.Handler = (*handler)(nil)
+
+// ProcessQuery answers with this peer's counters.
+func (h *handler) ProcessQuery(_ resolver.Query, _ endpoint.Address) ([]byte, error) {
+	s := (*Service)(h)
+	return xml.Marshal(s.Local())
+}
+
+// ProcessResponse routes answers to waiting queries.
+func (h *handler) ProcessResponse(r resolver.Response, _ endpoint.Address) {
+	s := (*Service)(h)
+	var info Info
+	if err := xml.Unmarshal(r.Payload, &info); err != nil {
+		return
+	}
+	s.mu.Lock()
+	ch, ok := s.pending[r.QueryID]
+	s.mu.Unlock()
+	if ok {
+		select {
+		case ch <- info:
+		default:
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package peerinfo_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/peerinfo"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+type testPeer struct {
+	ep  *endpoint.Service
+	res *resolver.Service
+	pip *peerinfo.Service
+}
+
+func newPair(t *testing.T) (a, b *testPeer) {
+	t.Helper()
+	net := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(net.Close)
+	mk := func(name string, seed uint64) *testPeer {
+		node, err := net.AddNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+		if err := ep.AddTransport(memnet.New(node)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := resolver.New(ep, nil, "g1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pip, err := peerinfo.New(res, ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := &testPeer{ep: ep, res: res, pip: pip}
+		t.Cleanup(func() {
+			p.pip.Close()
+			p.res.Close()
+			_ = p.ep.Close()
+		})
+		return p
+	}
+	return mk("a", 1), mk("b", 2)
+}
+
+func TestLocalInfo(t *testing.T) {
+	a, _ := newPair(t)
+	info := a.pip.Local()
+	if info.PeerID != a.ep.PeerID() {
+		t.Fatalf("peer ID %v", info.PeerID)
+	}
+	if info.UptimeMS < 0 {
+		t.Fatalf("uptime %d", info.UptimeMS)
+	}
+	if info.MsgsIn != 0 || info.MsgsOut != 0 {
+		t.Fatalf("fresh peer has traffic: %+v", info)
+	}
+}
+
+func TestRemoteQueryReflectsTraffic(t *testing.T) {
+	a, b := newPair(t)
+	// Generate some traffic from b so its counters move.
+	if err := b.ep.RegisterHandler("noop", "", func(*message.Message, endpoint.Address) {}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.ep.Send("mem://a", "noop", "", message.New(b.ep.PeerID())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := a.pip.Query("mem://b", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.PeerID != b.ep.PeerID() {
+		t.Fatalf("peer ID %v, want %v", info.PeerID, b.ep.PeerID())
+	}
+	// b sent 3 noops plus the PIP response itself.
+	if info.MsgsOut < 3 {
+		t.Fatalf("MsgsOut = %d, want >= 3", info.MsgsOut)
+	}
+	if info.MsgsIn < 1 {
+		t.Fatalf("MsgsIn = %d, want >= 1 (the PIP query)", info.MsgsIn)
+	}
+	if info.LastOutUnixMS == 0 {
+		t.Fatal("LastOutUnixMS not set despite traffic")
+	}
+	if info.Uptime() <= 0 {
+		t.Fatalf("uptime %v", info.Uptime())
+	}
+}
+
+func TestQueryTimeout(t *testing.T) {
+	a, _ := newPair(t)
+	if _, err := a.pip.Query("mem://ghost", 200*time.Millisecond); err == nil {
+		t.Fatal("query to ghost succeeded")
+	}
+}
+
+func TestQueryAfterClose(t *testing.T) {
+	a, b := newPair(t)
+	_ = b
+	a.pip.Close()
+	if _, err := a.pip.Query("mem://b", time.Second); err == nil {
+		t.Fatal("query after close succeeded")
+	}
+	a.pip.Close() // idempotent
+}

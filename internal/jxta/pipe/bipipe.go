@@ -1,0 +1,87 @@
+package pipe
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+)
+
+// bipipe.go implements the "very new bi-directional pipes" the paper
+// mentions alongside the basic asynchronous unidirectional ones (§2.1):
+// a BiPipe couples two unicast pipes — one per direction — behind a
+// single connect/accept API, which is what a request/reply interaction
+// (the RPC-flavoured combination the paper's §6 anticipates) needs.
+
+// BiPipe is one end of a bidirectional channel between two peers.
+type BiPipe struct {
+	in  *InputPipe
+	out *OutputPipe
+}
+
+// BiPipeAdvPair derives the two directional pipe advertisements of a
+// bidirectional pipe from a base advertisement. The base PipeID seeds
+// both directions deterministically so the two ends agree without
+// further negotiation.
+func BiPipeAdvPair(base *adv.PipeAdv) (serverIn, clientIn *adv.PipeAdv) {
+	u := base.PipeID.UUID()
+	seed := uint64(u[0])<<56 | uint64(u[1])<<48 | uint64(u[2])<<40 | uint64(u[3])<<32 |
+		uint64(u[4])<<24 | uint64(u[5])<<16 | uint64(u[6])<<8 | uint64(u[7])
+	serverIn = &adv.PipeAdv{
+		PipeID: jid.FromSeed(jid.KindPipe, seed),
+		Type:   adv.PipeUnicast,
+		Name:   base.Name + ".c2s",
+	}
+	clientIn = &adv.PipeAdv{
+		PipeID: jid.FromSeed(jid.KindPipe, seed+1),
+		Type:   adv.PipeUnicast,
+		Name:   base.Name + ".s2c",
+	}
+	return serverIn, clientIn
+}
+
+// AcceptBiPipe binds the server end of a bidirectional pipe: it opens
+// the server's input direction immediately and resolves the client
+// direction lazily on the first Send (the client may not exist yet —
+// pipes are decoupled).
+func (s *Service) AcceptBiPipe(base *adv.PipeAdv) (*BiPipe, error) {
+	serverIn, clientIn := BiPipeAdvPair(base)
+	in, err := s.CreateInputPipe(serverIn)
+	if err != nil {
+		return nil, fmt.Errorf("pipe: accept bipipe: %w", err)
+	}
+	return &BiPipe{in: in, out: &OutputPipe{svc: s, id: clientIn.PipeID, name: clientIn.Name}}, nil
+}
+
+// ConnectBiPipe binds the client end: it opens the client's input
+// direction and resolves the server's within the timeout.
+func (s *Service) ConnectBiPipe(base *adv.PipeAdv, timeout time.Duration) (*BiPipe, error) {
+	serverIn, clientIn := BiPipeAdvPair(base)
+	in, err := s.CreateInputPipe(clientIn)
+	if err != nil {
+		return nil, fmt.Errorf("pipe: connect bipipe: %w", err)
+	}
+	out, err := s.CreateOutputPipe(serverIn, timeout)
+	if err != nil {
+		in.Close()
+		return nil, fmt.Errorf("pipe: connect bipipe: %w", err)
+	}
+	return &BiPipe{in: in, out: out}, nil
+}
+
+// Send transmits a message to the other end.
+func (b *BiPipe) Send(msg *message.Message) error { return b.out.Send(msg) }
+
+// Receive blocks for the next message from the other end.
+func (b *BiPipe) Receive(timeout time.Duration) (*message.Message, error) {
+	return b.in.Receive(timeout)
+}
+
+// SetListener installs an asynchronous delivery callback.
+func (b *BiPipe) SetListener(l Listener) { b.in.SetListener(l) }
+
+// Close releases the receiving end; the other peer's sends will
+// re-resolve and fail.
+func (b *BiPipe) Close() { b.in.Close() }

@@ -1,0 +1,130 @@
+package pipe_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/pipe"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+)
+
+func baseBiAdv(seed uint64) *adv.PipeAdv {
+	return &adv.PipeAdv{PipeID: jid.FromSeed(jid.KindPipe, seed), Type: adv.PipeUnicast, Name: "bi.test"}
+}
+
+func TestBiPipeAdvPairDeterministic(t *testing.T) {
+	base := baseBiAdv(42)
+	s1, c1 := pipe.BiPipeAdvPair(base)
+	s2, c2 := pipe.BiPipeAdvPair(base)
+	if s1.PipeID != s2.PipeID || c1.PipeID != c2.PipeID {
+		t.Fatal("pair derivation not deterministic")
+	}
+	if s1.PipeID == c1.PipeID {
+		t.Fatal("directions collided")
+	}
+	other, _ := pipe.BiPipeAdvPair(baseBiAdv(43))
+	if other.PipeID == s1.PipeID {
+		t.Fatal("different bases collided")
+	}
+}
+
+func TestBiPipeRequestReply(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	server := c.addPeer("server", 2, rendezvous.RoleEdge, "mem://rdv")
+	client := c.addPeer("client", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, server, client)
+
+	base := baseBiAdv(50)
+	srv, err := server.pipe.AcceptBiPipe(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := client.pipe.ConnectBiPipe(base, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Request from client to server...
+	req := message.New(client.ep.PeerID())
+	req.AddString("app", "op", "rent-skis")
+	if err := cli.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text("app", "op") != "rent-skis" {
+		t.Fatalf("server got %q", got.Text("app", "op"))
+	}
+	// ...reply from server to client: the interaction TPS alone cannot
+	// express (§6) and bidirectional pipes provide.
+	rep := message.New(server.ep.PeerID())
+	rep.AddString("app", "status", "confirmed")
+	if err := srv.Send(rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cli.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Text("app", "status") != "confirmed" {
+		t.Fatalf("client got %q", back.Text("app", "status"))
+	}
+}
+
+func TestBiPipeListener(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	server := c.addPeer("server", 2, rendezvous.RoleEdge, "mem://rdv")
+	client := c.addPeer("client", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, server, client)
+
+	base := baseBiAdv(51)
+	srv, err := server.pipe.AcceptBiPipe(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	got := make(chan string, 8)
+	srv.SetListener(func(m *message.Message) { got <- m.Text("app", "n") })
+
+	cli, err := client.pipe.ConnectBiPipe(base, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 3; i++ {
+		m := message.New(client.ep.PeerID())
+		m.AddString("app", "n", string(rune('a'+i)))
+		if err := cli.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case s := <-got:
+			if s != string(rune('a'+i)) {
+				t.Fatalf("out of order: %q at %d", s, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestBiPipeConnectWithoutServer(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	client := c.addPeer("client", 2, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, client)
+	if _, err := client.pipe.ConnectBiPipe(baseBiAdv(52), 300*time.Millisecond); err == nil {
+		t.Fatal("connect without server succeeded")
+	}
+}

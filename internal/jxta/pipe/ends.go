@@ -1,0 +1,175 @@
+package pipe
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+)
+
+// Listener consumes messages arriving on an input pipe. When a listener
+// is installed, messages bypass the queue and go straight to it.
+type Listener func(msg *message.Message)
+
+// InputPipe is the receiving end of a pipe on this peer.
+type InputPipe struct {
+	svc  *Service
+	id   jid.ID
+	name string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*message.Message
+	listener Listener
+	closed   bool
+}
+
+// ID returns the pipe ID.
+func (in *InputPipe) ID() jid.ID { return in.id }
+
+// Name returns the pipe's advertised name.
+func (in *InputPipe) Name() string { return in.name }
+
+// SetListener installs (or clears, with nil) the delivery callback.
+// Queued messages are flushed to the new listener in order.
+func (in *InputPipe) SetListener(l Listener) {
+	in.mu.Lock()
+	in.listener = l
+	var backlog []*message.Message
+	if l != nil {
+		backlog = in.queue
+		in.queue = nil
+	}
+	in.mu.Unlock()
+	for _, m := range backlog {
+		l(m)
+	}
+}
+
+// Receive blocks until a message arrives or the timeout elapses. It
+// returns ErrReceiveEmpty on timeout and ErrClosed once the pipe closes.
+func (in *InputPipe) Receive(timeout time.Duration) (*message.Message, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		in.mu.Lock()
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	})
+	defer timer.Stop()
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for {
+		if len(in.queue) > 0 {
+			m := in.queue[0]
+			in.queue = in.queue[1:]
+			return m, nil
+		}
+		if in.closed {
+			return nil, ErrClosed
+		}
+		if !time.Now().Before(deadline) {
+			return nil, ErrReceiveEmpty
+		}
+		in.cond.Wait()
+	}
+}
+
+// Pending returns the number of queued messages.
+func (in *InputPipe) Pending() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.queue)
+}
+
+// Close unbinds the input pipe; senders will re-resolve away from this
+// peer.
+func (in *InputPipe) Close() {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	in.closed = true
+	in.queue = nil
+	in.cond.Broadcast()
+	in.mu.Unlock()
+
+	in.svc.mu.Lock()
+	if in.svc.inputs[in.id] == in {
+		delete(in.svc.inputs, in.id)
+	}
+	in.svc.mu.Unlock()
+}
+
+// push delivers a message to the listener or the queue.
+func (in *InputPipe) push(msg *message.Message) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return
+	}
+	l := in.listener
+	if l == nil {
+		in.queue = append(in.queue, msg)
+		in.cond.Broadcast()
+	}
+	in.mu.Unlock()
+	if l != nil {
+		l(msg)
+	}
+}
+
+// OutputPipe is a sending end bound to whichever peers currently hold the
+// pipe's input end.
+type OutputPipe struct {
+	svc  *Service
+	id   jid.ID
+	name string
+}
+
+// ID returns the pipe ID.
+func (out *OutputPipe) ID() jid.ID { return out.id }
+
+// Name returns the pipe's advertised name.
+func (out *OutputPipe) Name() string { return out.name }
+
+// Send delivers the message to the pipe's bound peer. If the cached
+// binding has gone stale (the peer moved or died), Send re-resolves once
+// and retries — the Pipe Binding Protocol's re-binding behaviour.
+func (out *OutputPipe) Send(msg *message.Message) error {
+	s := out.svc
+	for attempt := 0; attempt < 2; attempt++ {
+		// Loopback: a local input pipe takes priority (JXTA delivers
+		// locally when both ends live on one peer).
+		s.mu.Lock()
+		in, local := s.inputs[out.id]
+		s.mu.Unlock()
+		if local {
+			loop := msg.Dup()
+			loop.ReplaceElement(message.Element{Namespace: elemNS, Name: elemID, Data: []byte(out.id.String())})
+			in.push(loop)
+			return nil
+		}
+
+		s.mu.Lock()
+		bs := append([]binding(nil), s.freshBindingsLocked(out.id)...)
+		s.mu.Unlock()
+		for _, b := range bs {
+			wire := msg.Dup()
+			wire.ReplaceElement(message.Element{Namespace: elemNS, Name: elemID, Data: []byte(out.id.String())})
+			for _, addr := range b.addrs {
+				if err := s.ep.Send(addr, ServiceName, s.cfg.Group, wire); err == nil {
+					return nil
+				}
+			}
+			s.dropBinding(out.id, b.peer)
+		}
+		// All bindings failed or none were fresh: re-resolve and retry.
+		if err := s.resolveBinding(out.id, 5*time.Second); err != nil {
+			return fmt.Errorf("pipe: send: %w", err)
+		}
+	}
+	return fmt.Errorf("pipe: send: %w", ErrNotBound)
+}

@@ -1,0 +1,340 @@
+// Package pipe implements JXTA pipes and the Pipe Binding Protocol (PBP).
+//
+// A pipe is a virtual, asynchronous, unidirectional communication channel
+// identified by a pipe ID — never by a physical address. Input pipes are
+// the receiving ends; output pipes resolve which peer(s) currently bind
+// the pipe ID and send to them. Because binding is by ID, a peer that
+// crashes and comes back with a different network address keeps its pipes:
+// senders re-resolve and continue (the paper's PBP figure shows exactly
+// this address-change scenario).
+package pipe
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+)
+
+// Protocol names.
+const (
+	// ServiceName is the endpoint service carrying pipe payloads.
+	ServiceName = "jxta.pipe"
+	// HandlerName is the resolver handler answering binding queries.
+	HandlerName = "jxta.pbp"
+)
+
+// Message element names, namespace "pipe".
+const (
+	elemNS = "pipe"
+	elemID = "ID"
+)
+
+// DefaultBindingTTL is how long a resolved binding stays cached.
+const DefaultBindingTTL = time.Minute
+
+// Errors.
+var (
+	ErrClosed       = errors.New("pipe: closed")
+	ErrNotBound     = errors.New("pipe: no peer bound to pipe")
+	ErrDupInput     = errors.New("pipe: input pipe already exists")
+	ErrWrongType    = errors.New("pipe: advertisement type mismatch")
+	ErrReceiveEmpty = errors.New("pipe: receive timeout")
+)
+
+// Endpoint is the endpoint capability the pipe service needs.
+type Endpoint interface {
+	endpoint.Sender
+	RegisterHandler(svc, param string, h endpoint.Handler) error
+	UnregisterHandler(svc, param string)
+}
+
+// Config configures a pipe Service.
+type Config struct {
+	// Group scopes the service to a peer group.
+	Group string
+	// BindingTTL overrides the binding cache lifetime.
+	BindingTTL time.Duration
+	// Clock substitutes the time source (tests).
+	Clock func() time.Time
+}
+
+type binding struct {
+	peer    jid.ID
+	addrs   []endpoint.Address
+	expires time.Time
+}
+
+// Service manages the pipes of one peer in one group.
+type Service struct {
+	ep  Endpoint
+	res *resolver.Service
+	cfg Config
+	now func() time.Time
+	ttl time.Duration
+
+	mu       sync.Mutex
+	inputs   map[jid.ID]*InputPipe
+	bindings map[jid.ID][]binding
+	waiters  map[jid.ID][]chan struct{}
+	closed   bool
+}
+
+// New creates the pipe service: it registers the payload endpoint handler
+// and the PBP resolver handler.
+func New(ep Endpoint, res *resolver.Service, cfg Config) (*Service, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	ttl := cfg.BindingTTL
+	if ttl == 0 {
+		ttl = DefaultBindingTTL
+	}
+	s := &Service{
+		ep:       ep,
+		res:      res,
+		cfg:      cfg,
+		now:      now,
+		ttl:      ttl,
+		inputs:   make(map[jid.ID]*InputPipe),
+		bindings: make(map[jid.ID][]binding),
+		waiters:  make(map[jid.ID][]chan struct{}),
+	}
+	if err := ep.RegisterHandler(ServiceName, cfg.Group, s.handlePayload); err != nil {
+		return nil, fmt.Errorf("pipe: %w", err)
+	}
+	if err := res.RegisterHandler(HandlerName, (*bindHandler)(s)); err != nil {
+		ep.UnregisterHandler(ServiceName, cfg.Group)
+		return nil, fmt.Errorf("pipe: %w", err)
+	}
+	return s, nil
+}
+
+// Close tears down all pipes and unregisters the handlers.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	inputs := make([]*InputPipe, 0, len(s.inputs))
+	for _, in := range s.inputs {
+		inputs = append(inputs, in)
+	}
+	for _, ws := range s.waiters {
+		for _, w := range ws {
+			close(w)
+		}
+	}
+	s.waiters = map[jid.ID][]chan struct{}{}
+	s.mu.Unlock()
+	for _, in := range inputs {
+		in.Close()
+	}
+	s.res.UnregisterHandler(HandlerName)
+	s.ep.UnregisterHandler(ServiceName, s.cfg.Group)
+}
+
+// CreateInputPipe binds the receiving end of the advertised pipe on this
+// peer.
+func (s *Service) CreateInputPipe(pa *adv.PipeAdv) (*InputPipe, error) {
+	if pa.Type != adv.PipeUnicast {
+		return nil, fmt.Errorf("%w: %s (want %s)", ErrWrongType, pa.Type, adv.PipeUnicast)
+	}
+	in := &InputPipe{svc: s, id: pa.PipeID, name: pa.Name}
+	in.cond = sync.NewCond(&in.mu)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.inputs[pa.PipeID]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrDupInput, pa.PipeID)
+	}
+	s.inputs[pa.PipeID] = in
+	return in, nil
+}
+
+// CreateOutputPipe resolves the pipe's current binding and returns a
+// sending end. It blocks until a binding is found or the timeout elapses.
+func (s *Service) CreateOutputPipe(pa *adv.PipeAdv, timeout time.Duration) (*OutputPipe, error) {
+	if pa.Type != adv.PipeUnicast {
+		return nil, fmt.Errorf("%w: %s (want %s)", ErrWrongType, pa.Type, adv.PipeUnicast)
+	}
+	if err := s.resolveBinding(pa.PipeID, timeout); err != nil {
+		return nil, err
+	}
+	return &OutputPipe{svc: s, id: pa.PipeID, name: pa.Name}, nil
+}
+
+// resolveBinding queries the group for peers binding the pipe ID.
+func (s *Service) resolveBinding(id jid.ID, timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	// Local input pipe counts as a binding (loopback pipes).
+	if _, ok := s.inputs[id]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	if bs := s.freshBindingsLocked(id); len(bs) > 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	wait := make(chan struct{})
+	s.waiters[id] = append(s.waiters[id], wait)
+	s.mu.Unlock()
+
+	payload, err := xml.Marshal(bindQuery{PipeID: id})
+	if err != nil {
+		return fmt.Errorf("pipe: encode bind query: %w", err)
+	}
+	if _, err := s.res.PropagateQuery(HandlerName, payload); err != nil {
+		return fmt.Errorf("pipe: bind query: %w", err)
+	}
+	select {
+	case <-wait:
+		s.mu.Lock()
+		ok := len(s.freshBindingsLocked(id)) > 0
+		s.mu.Unlock()
+		if !ok {
+			return ErrNotBound
+		}
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: %v (resolution timeout)", ErrNotBound, id)
+	}
+}
+
+// freshBindingsLocked returns unexpired bindings for the pipe.
+func (s *Service) freshBindingsLocked(id jid.ID) []binding {
+	now := s.now()
+	all := s.bindings[id]
+	fresh := all[:0]
+	for _, b := range all {
+		if now.Before(b.expires) {
+			fresh = append(fresh, b)
+		}
+	}
+	s.bindings[id] = fresh
+	return fresh
+}
+
+func (s *Service) addBinding(id jid.ID, peer jid.ID, addrs []endpoint.Address) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	entry := binding{peer: peer, addrs: addrs, expires: s.now().Add(s.ttl)}
+	replaced := false
+	for i, b := range s.bindings[id] {
+		if b.peer == peer {
+			s.bindings[id][i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.bindings[id] = append(s.bindings[id], entry)
+	}
+	for _, w := range s.waiters[id] {
+		close(w)
+	}
+	delete(s.waiters, id)
+}
+
+// dropBinding forgets one peer's binding after a send failure so the next
+// send re-resolves.
+func (s *Service) dropBinding(id jid.ID, peer jid.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs := s.bindings[id]
+	for i, b := range bs {
+		if b.peer == peer {
+			s.bindings[id] = append(bs[:i], bs[i+1:]...)
+			return
+		}
+	}
+}
+
+// handlePayload delivers pipe messages to the local input pipe.
+func (s *Service) handlePayload(msg *message.Message, _ endpoint.Address) {
+	id, err := jid.Parse(msg.Text(elemNS, elemID))
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	in, ok := s.inputs[id]
+	s.mu.Unlock()
+	if !ok {
+		return // no input pipe here (stale binding)
+	}
+	in.push(msg)
+}
+
+// --- PBP resolver handler ---
+
+type bindQuery struct {
+	XMLName xml.Name `xml:"PipeBindQuery"`
+	PipeID  jid.ID   `xml:"PipeID"`
+}
+
+type bindResponse struct {
+	XMLName xml.Name `xml:"PipeBindResponse"`
+	PipeID  jid.ID   `xml:"PipeID"`
+	PeerID  jid.ID   `xml:"PeerID"`
+	Addrs   []string `xml:"Addr"`
+}
+
+type bindHandler Service
+
+var _ resolver.Handler = (*bindHandler)(nil)
+
+// ProcessQuery answers binding queries for pipes with a local input end.
+func (h *bindHandler) ProcessQuery(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+	s := (*Service)(h)
+	var query bindQuery
+	if err := xml.Unmarshal(q.Payload, &query); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	_, bound := s.inputs[query.PipeID]
+	s.mu.Unlock()
+	if !bound {
+		return nil, nil
+	}
+	resp := bindResponse{PipeID: query.PipeID, PeerID: s.ep.PeerID()}
+	for _, a := range s.ep.LocalAddresses() {
+		resp.Addrs = append(resp.Addrs, string(a))
+	}
+	return xml.Marshal(resp)
+}
+
+// ProcessResponse caches learned bindings and wakes resolvers.
+func (h *bindHandler) ProcessResponse(r resolver.Response, _ endpoint.Address) {
+	s := (*Service)(h)
+	var resp bindResponse
+	if err := xml.Unmarshal(r.Payload, &resp); err != nil {
+		return
+	}
+	if resp.PipeID.IsZero() || resp.PeerID.IsZero() {
+		return
+	}
+	addrs := make([]endpoint.Address, 0, len(resp.Addrs))
+	for _, a := range resp.Addrs {
+		addrs = append(addrs, endpoint.Address(a))
+	}
+	s.addBinding(resp.PipeID, resp.PeerID, addrs)
+}

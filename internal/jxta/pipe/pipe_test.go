@@ -1,0 +1,359 @@
+package pipe_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/pipe"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+type testPeer struct {
+	name string
+	ep   *endpoint.Service
+	rdv  *rendezvous.Service
+	res  *resolver.Service
+	pipe *pipe.Service
+}
+
+type cluster struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newCluster(t *testing.T) *cluster {
+	t.Helper()
+	n := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(n.Close)
+	return &cluster{t: t, net: n}
+}
+
+func (c *cluster) addPeer(name string, seed uint64, role rendezvous.Role, seeds ...endpoint.Address) *testPeer {
+	c.t.Helper()
+	node, err := c.net.AddNode(name)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		c.t.Fatal(err)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role: role, GroupParam: "net", Seeds: seeds, LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	res, err := resolver.New(ep, rdv, "net")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ps, err := pipe.New(ep, res, pipe.Config{Group: "net"})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	p := &testPeer{name: name, ep: ep, rdv: rdv, res: res, pipe: ps}
+	c.t.Cleanup(func() {
+		p.pipe.Close()
+		p.res.Close()
+		p.rdv.Close()
+		_ = p.ep.Close()
+	})
+	return p
+}
+
+func unicastAdv(seed uint64, name string) *adv.PipeAdv {
+	return &adv.PipeAdv{PipeID: jid.FromSeed(jid.KindPipe, seed), Type: adv.PipeUnicast, Name: name}
+}
+
+func connect(t *testing.T, peers ...*testPeer) {
+	t.Helper()
+	for _, p := range peers {
+		if !p.rdv.AwaitConnected(5 * time.Second) {
+			t.Fatalf("%s never connected", p.name)
+		}
+	}
+}
+
+func TestUnicastPipeEndToEnd(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	rx := c.addPeer("rx", 2, rendezvous.RoleEdge, "mem://rdv")
+	tx := c.addPeer("tx", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, rx, tx)
+
+	pa := unicastAdv(10, "test.unicast")
+	in, err := rx.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tx.pipe.CreateOutputPipe(pa, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := message.New(tx.ep.PeerID())
+	m.AddString("app", "body", "through-the-pipe")
+	if err := out.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text("app", "body") != "through-the-pipe" {
+		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+	if in.ID() != pa.PipeID || out.ID() != pa.PipeID {
+		t.Fatal("pipe IDs do not match advertisement")
+	}
+	if in.Name() != "test.unicast" || out.Name() != "test.unicast" {
+		t.Fatal("pipe names do not match advertisement")
+	}
+}
+
+func TestListenerDelivery(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	rx := c.addPeer("rx", 2, rendezvous.RoleEdge, "mem://rdv")
+	tx := c.addPeer("tx", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, rx, tx)
+
+	pa := unicastAdv(11, "listener.pipe")
+	in, err := rx.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 16)
+	in.SetListener(func(m *message.Message) { got <- m.Text("app", "n") })
+
+	out, err := tx.pipe.CreateOutputPipe(pa, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		m := message.New(tx.ep.PeerID())
+		m.AddString("app", "n", fmt.Sprint(i))
+		if err := out.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case s := <-got:
+			if s != fmt.Sprint(i) {
+				t.Fatalf("out of order: got %q want %d", s, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	}
+}
+
+func TestListenerInstalledLateFlushesBacklog(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	rx := c.addPeer("rx", 2, rendezvous.RoleEdge, "mem://rdv")
+	tx := c.addPeer("tx", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, rx, tx)
+
+	pa := unicastAdv(12, "late.listener")
+	in, err := rx.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tx.pipe.CreateOutputPipe(pa, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := message.New(tx.ep.PeerID())
+	m.AddString("app", "body", "queued")
+	if err := out.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return in.Pending() == 1 })
+	got := make(chan string, 1)
+	in.SetListener(func(m *message.Message) { got <- m.Text("app", "body") })
+	select {
+	case s := <-got:
+		if s != "queued" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("backlog never flushed")
+	}
+	if in.Pending() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestOutputPipeToUnboundPipeFails(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	tx := c.addPeer("tx", 2, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, tx)
+	_, err := tx.pipe.CreateOutputPipe(unicastAdv(13, "nobody"), 300*time.Millisecond)
+	if !errors.Is(err, pipe.ErrNotBound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRebindAfterPeerMoves(t *testing.T) {
+	// The paper's PBP scenario: the receiving peer changes its network
+	// address; the sender's pipe keeps working because binding is by
+	// pipe ID, not by address.
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	rx := c.addPeer("rx-old", 2, rendezvous.RoleEdge, "mem://rdv")
+	tx := c.addPeer("tx", 3, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, rx, tx)
+
+	pa := unicastAdv(14, "moving.pipe")
+	in, err := rx.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tx.pipe.CreateOutputPipe(pa, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := message.New(tx.ep.PeerID())
+	m1.AddString("app", "body", "before-move")
+	if err := out.Send(m1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Receive(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer "moves": its old node dies, it comes back at a new
+	// address with the same identity and re-creates its input pipe.
+	in.Close()
+	rx.pipe.Close()
+	rx.res.Close()
+	rx.rdv.Close()
+	_ = rx.ep.Close()
+
+	rx2 := c.addPeer("rx-new", 2, rendezvous.RoleEdge, "mem://rdv")
+	connect(t, rx2)
+	in2, err := rx2.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sender's cached binding points at the dead address; Send must
+	// re-resolve and deliver to the new one.
+	var sendErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m2 := message.New(tx.ep.PeerID())
+		m2.AddString("app", "body", "after-move")
+		sendErr = out.Send(m2)
+		if sendErr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("send never recovered: %v", sendErr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	got, err := in2.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text("app", "body") != "after-move" {
+		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+}
+
+func TestLoopbackPipe(t *testing.T) {
+	c := newCluster(t)
+	p := c.addPeer("solo", 1, rendezvous.RoleEdge)
+	pa := unicastAdv(15, "loopback")
+	in, err := p.pipe.CreateInputPipe(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.pipe.CreateOutputPipe(pa, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := message.New(p.ep.PeerID())
+	m.AddString("app", "body", "to-myself")
+	if err := out.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text("app", "body") != "to-myself" {
+		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+}
+
+func TestDuplicateInputPipeRejected(t *testing.T) {
+	c := newCluster(t)
+	p := c.addPeer("p", 1, rendezvous.RoleEdge)
+	pa := unicastAdv(16, "dup")
+	if _, err := p.pipe.CreateInputPipe(pa); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.pipe.CreateInputPipe(pa); !errors.Is(err, pipe.ErrDupInput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWrongAdvertisementType(t *testing.T) {
+	c := newCluster(t)
+	p := c.addPeer("p", 1, rendezvous.RoleEdge)
+	bad := &adv.PipeAdv{PipeID: jid.FromSeed(jid.KindPipe, 17), Type: adv.PipePropagate, Name: "wire"}
+	if _, err := p.pipe.CreateInputPipe(bad); !errors.Is(err, pipe.ErrWrongType) {
+		t.Fatalf("input err = %v", err)
+	}
+	if _, err := p.pipe.CreateOutputPipe(bad, time.Second); !errors.Is(err, pipe.ErrWrongType) {
+		t.Fatalf("output err = %v", err)
+	}
+}
+
+func TestReceiveTimeoutAndClose(t *testing.T) {
+	c := newCluster(t)
+	p := c.addPeer("p", 1, rendezvous.RoleEdge)
+	in, err := p.pipe.CreateInputPipe(unicastAdv(18, "idle"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Receive(50 * time.Millisecond); !errors.Is(err, pipe.ErrReceiveEmpty) {
+		t.Fatalf("timeout err = %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Receive(5 * time.Second)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	in.Close()
+	if err := <-done; !errors.Is(err, pipe.ErrClosed) {
+		t.Fatalf("close err = %v", err)
+	}
+	in.Close() // idempotent
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,533 @@
+// Package rendezvous implements JXTA rendezvous peers and their clients.
+//
+// Rendezvous (rdv) peers keep track of connected peers and bridge
+// sub-networks: edge peers hold a renewable lease with one or more
+// rendezvous, and messages propagated into the mesh fan out from
+// rendezvous to their connected peers and on to neighbouring rendezvous,
+// with TTL, path stamping and a duplicate cache suppressing loops.
+//
+// The Peer Discovery Protocol and the wire (propagated pipe) service both
+// ride on Propagate.
+package rendezvous
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/seen"
+)
+
+// ServiceName is the endpoint service name of the rendezvous protocol.
+const ServiceName = "jxta.rdv"
+
+// Message element names, namespace "rdv".
+const (
+	elemNS     = "rdv"
+	elemOp     = "Op"
+	elemDSvc   = "DSvc"
+	elemDParam = "DParam"
+	elemLease  = "Lease"
+	elemIsRdv  = "IsRdv"
+)
+
+// Operations.
+const (
+	opConnect    = "connect"
+	opLease      = "lease"
+	opDisconnect = "disconnect"
+	opProp       = "prop"
+)
+
+// Role of a peer in the rendezvous protocol.
+type Role int
+
+// Roles. Edge peers lease into the mesh; rendezvous peers form it.
+const (
+	RoleEdge Role = iota + 1
+	RoleRendezvous
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleEdge:
+		return "edge"
+	case RoleRendezvous:
+		return "rendezvous"
+	default:
+		return "role(?)"
+	}
+}
+
+// Endpoint is the slice of the endpoint service the rendezvous protocol
+// needs: sending, local delivery and handler registration.
+type Endpoint interface {
+	endpoint.Sender
+	DeliverLocal(svc, param string, msg *message.Message, from endpoint.Address) error
+	RegisterHandler(svc, param string, h endpoint.Handler) error
+	UnregisterHandler(svc, param string)
+}
+
+// Config configures a rendezvous service instance.
+type Config struct {
+	// Role selects edge or rendezvous behaviour.
+	Role Role
+	// GroupParam scopes the protocol to one peer group; it becomes the
+	// endpoint service parameter. A rendezvous peer may leave it empty
+	// to serve every group with one instance (a wildcard rendezvous, the
+	// normal configuration for a dedicated rendezvous daemon): clients
+	// are then tracked per group and propagation stays group-scoped.
+	GroupParam string
+	// Seeds are addresses of rendezvous peers to connect to. Edge peers
+	// need at least one to reach beyond their own process; rendezvous
+	// peers use seeds to form a mesh with other rendezvous.
+	Seeds []endpoint.Address
+	// LeaseTTL is how long a granted lease lasts. Clients renew at a
+	// third of the TTL. Zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// Clock substitutes the time source (tests). Nil means time.Now.
+	Clock func() time.Time
+}
+
+// DefaultLeaseTTL is the lease duration granted by rendezvous peers.
+const DefaultLeaseTTL = 30 * time.Second
+
+// ErrNoPeers is returned by Propagate when no rendezvous or clients are
+// connected, meaning the message reached nobody.
+var ErrNoPeers = errors.New("rendezvous: no connected peers")
+
+// Stats counts rendezvous activity.
+type Stats struct {
+	Propagated   int64 // messages this peer injected or forwarded
+	Delivered    int64 // propagated messages delivered to local services
+	Duplicates   int64 // propagated messages dropped by the seen-cache
+	LeasesActive int   // currently connected clients (rendezvous role)
+}
+
+type peerEntry struct {
+	addr    endpoint.Address
+	expires time.Time
+	isRdv   bool
+	// param is the group the client leased for; "" (wildcard rendezvous
+	// mesh peers) receives every group's propagation.
+	param string
+}
+
+// clientKey identifies a lease: one peer may lease separately for
+// several groups.
+type clientKey struct {
+	id    jid.ID
+	param string
+}
+
+// Service is one peer's rendezvous protocol instance for one group.
+type Service struct {
+	ep    Endpoint
+	cfg   Config
+	now   func() time.Time
+	seen  *seen.Cache
+	lease time.Duration
+
+	mu      sync.Mutex
+	clients map[clientKey]peerEntry // connected to us (rendezvous role)
+	rdvs    map[jid.ID]peerEntry    // we are connected to them (granted leases)
+	stats   Stats
+	conn    *sync.Cond // signals rdvs-set changes
+	closed  bool
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// New creates and starts the rendezvous service: it registers the
+// protocol handler and, when seeds are configured, starts the lease
+// maintenance loop.
+func New(ep Endpoint, cfg Config) (*Service, error) {
+	if cfg.Role != RoleEdge && cfg.Role != RoleRendezvous {
+		return nil, fmt.Errorf("rendezvous: invalid role %d", cfg.Role)
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	lease := cfg.LeaseTTL
+	if lease == 0 {
+		lease = DefaultLeaseTTL
+	}
+	s := &Service{
+		ep:      ep,
+		cfg:     cfg,
+		now:     now,
+		seen:    seen.New(),
+		lease:   lease,
+		clients: make(map[clientKey]peerEntry),
+		rdvs:    make(map[jid.ID]peerEntry),
+		stop:    make(chan struct{}),
+	}
+	s.conn = sync.NewCond(&s.mu)
+	if err := ep.RegisterHandler(ServiceName, cfg.GroupParam, s.handle); err != nil {
+		return nil, fmt.Errorf("rendezvous: register handler: %w", err)
+	}
+	if len(cfg.Seeds) > 0 {
+		s.wg.Add(1)
+		go s.leaseLoop()
+	}
+	return s, nil
+}
+
+// Role returns the configured role.
+func (s *Service) Role() Role { return s.cfg.Role }
+
+// Seeded reports whether the service was configured with seed
+// rendezvous: unseeded peers never hold leases and rely on loopback
+// only.
+func (s *Service) Seeded() bool { return len(s.cfg.Seeds) > 0 }
+
+// Close stops lease maintenance, tells our rendezvous we are leaving and
+// unregisters the handler.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	rdvs := s.snapshotLocked(s.rdvs)
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	for _, e := range rdvs {
+		bye := message.New(s.ep.PeerID())
+		bye.AddString(elemNS, elemOp, opDisconnect)
+		_ = s.ep.Send(e.addr, ServiceName, s.cfg.GroupParam, bye)
+	}
+	s.ep.UnregisterHandler(ServiceName, s.cfg.GroupParam)
+}
+
+// ConnectedRendezvous returns the IDs of rendezvous peers we hold leases
+// with.
+func (s *Service) ConnectedRendezvous() []jid.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	return keysLocked(s.rdvs)
+}
+
+// ConnectedClients returns the IDs of peers leased to us (rendezvous
+// role), across all groups, without duplicates.
+func (s *Service) ConnectedClients() []jid.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	seen := make(map[jid.ID]struct{}, len(s.clients))
+	out := make([]jid.ID, 0, len(s.clients))
+	for k := range s.clients {
+		if _, dup := seen[k.id]; dup {
+			continue
+		}
+		seen[k.id] = struct{}{}
+		out = append(out, k.id)
+	}
+	return out
+}
+
+// DirectAddress returns an address this peer can currently reach id at:
+// a leased client, a rendezvous we lease with, or nothing. It implements
+// the router's AddressBook so relay peers can forward to their clients.
+func (s *Service) DirectAddress(id jid.ID) (endpoint.Address, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	for k, e := range s.clients {
+		if k.id == id {
+			return e.addr, true
+		}
+	}
+	if e, ok := s.rdvs[id]; ok {
+		return e.addr, true
+	}
+	return "", false
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	st := s.stats
+	st.LeasesActive = len(s.clients)
+	return st
+}
+
+// AwaitConnected blocks until this peer holds a lease with at least one
+// rendezvous, or the timeout elapses. It reports success. Peers with no
+// seeds are never "connected".
+func (s *Service) AwaitConnected(timeout time.Duration) bool {
+	deadline := s.now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.conn.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		s.expireLocked()
+		if len(s.rdvs) > 0 {
+			return true
+		}
+		if s.closed || !s.now().Before(deadline) {
+			return false
+		}
+		s.conn.Wait()
+	}
+}
+
+// Propagate fans msg out into the mesh, addressed to the (dsvc, dparam)
+// service on every reachable peer in the group. The local peer is NOT
+// delivered to — callers decide whether to loop back. Returns ErrNoPeers
+// if there was nobody to send to.
+func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
+	out := msg.Dup()
+	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemOp, Data: []byte(opProp)})
+	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDSvc, Data: []byte(dsvc)})
+	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDParam, Data: []byte(dparam)})
+	if !out.Stamp(s.ep.PeerID()) {
+		return nil // TTL exhausted before leaving the peer
+	}
+	// Remember our own injection so the mesh echo is dropped.
+	s.seen.Observe(out.ID)
+
+	n := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
+	s.mu.Lock()
+	s.stats.Propagated++
+	s.mu.Unlock()
+	if n == 0 {
+		return ErrNoPeers
+	}
+	return nil
+}
+
+// fanOut sends the stamped message to every connected peer in the given
+// group except the one it came from and any peer already on its path.
+// It returns the number of sends attempted.
+func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int {
+	s.mu.Lock()
+	s.expireLocked()
+	type target struct {
+		id   jid.ID
+		addr endpoint.Address
+	}
+	targets := make([]target, 0, len(s.clients)+len(s.rdvs))
+	seenIDs := make(map[jid.ID]struct{}, len(s.clients)+len(s.rdvs))
+	for k, e := range s.clients {
+		// Group scoping: a client leased for group X must not receive
+		// group Y traffic. Wildcard entries ("") are mesh peers that
+		// forward everything.
+		if e.param != "" && param != "" && e.param != param {
+			continue
+		}
+		if _, dup := seenIDs[k.id]; dup {
+			continue
+		}
+		seenIDs[k.id] = struct{}{}
+		targets = append(targets, target{k.id, e.addr})
+	}
+	for id, e := range s.rdvs {
+		if _, dup := seenIDs[id]; dup {
+			continue
+		}
+		seenIDs[id] = struct{}{}
+		targets = append(targets, target{id, e.addr})
+	}
+	s.mu.Unlock()
+
+	n := 0
+	for _, t := range targets {
+		if t.id == except || msg.Visited(t.id) {
+			continue
+		}
+		if err := s.ep.Send(t.addr, ServiceName, param, msg); err != nil {
+			continue // unreachable peers age out via lease expiry
+		}
+		n++
+	}
+	return n
+}
+
+// handle processes rendezvous protocol messages.
+func (s *Service) handle(msg *message.Message, from endpoint.Address) {
+	switch msg.Text(elemNS, elemOp) {
+	case opConnect:
+		s.handleConnect(msg, from)
+	case opLease:
+		s.handleLease(msg, from)
+	case opDisconnect:
+		s.handleDisconnect(msg)
+	case opProp:
+		s.handleProp(msg, from)
+	}
+}
+
+func (s *Service) handleConnect(msg *message.Message, from endpoint.Address) {
+	if s.cfg.Role != RoleRendezvous {
+		return // edge peers do not grant leases
+	}
+	isRdv := msg.Text(elemNS, elemIsRdv) == "true"
+	// The lease is scoped to the group the client addressed: a wildcard
+	// rendezvous receives connects for many groups through its ("", svc)
+	// fallback handler.
+	param := s.incomingParam(msg)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.clients[clientKey{msg.Src, param}] = peerEntry{
+		addr:    from,
+		expires: s.now().Add(s.lease),
+		isRdv:   isRdv,
+		param:   param,
+	}
+	s.mu.Unlock()
+
+	grant := message.New(s.ep.PeerID())
+	grant.AddString(elemNS, elemOp, opLease)
+	grant.AddString(elemNS, elemLease, strconv.FormatInt(int64(s.lease/time.Millisecond), 10))
+	_ = s.ep.Send(from, ServiceName, param, grant)
+}
+
+// incomingParam recovers the group parameter a message was addressed to
+// on this hop, falling back to our own configured group.
+func (s *Service) incomingParam(msg *message.Message) string {
+	if _, param, err := endpoint.Destination(msg); err == nil && param != "" {
+		return param
+	}
+	return s.cfg.GroupParam
+}
+
+func (s *Service) handleLease(msg *message.Message, from endpoint.Address) {
+	ttlMS, err := strconv.ParseInt(msg.Text(elemNS, elemLease), 10, 64)
+	if err != nil || ttlMS <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.rdvs[msg.Src] = peerEntry{
+		addr:    from,
+		expires: s.now().Add(time.Duration(ttlMS) * time.Millisecond),
+		isRdv:   true,
+	}
+	s.conn.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Service) handleDisconnect(msg *message.Message) {
+	param := s.incomingParam(msg)
+	s.mu.Lock()
+	delete(s.clients, clientKey{msg.Src, param})
+	s.mu.Unlock()
+}
+
+func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
+	if !s.seen.Observe(msg.ID) {
+		s.mu.Lock()
+		s.stats.Duplicates++
+		s.mu.Unlock()
+		return
+	}
+	dsvc := msg.Text(elemNS, elemDSvc)
+	dparam := msg.Text(elemNS, elemDParam)
+	if dsvc == "" {
+		return
+	}
+	if err := s.ep.DeliverLocal(dsvc, dparam, msg, from); err == nil {
+		s.mu.Lock()
+		s.stats.Delivered++
+		s.mu.Unlock()
+	}
+	// Forward deeper into the mesh. Edge peers terminate propagation;
+	// only rendezvous fan out.
+	if s.cfg.Role != RoleRendezvous {
+		return
+	}
+	fwd := msg.Dup()
+	if !fwd.Stamp(s.ep.PeerID()) {
+		return
+	}
+	s.mu.Lock()
+	s.stats.Propagated++
+	s.mu.Unlock()
+	s.fanOut(fwd, msg.Src, s.incomingParam(msg))
+}
+
+// leaseLoop keeps leases with seed rendezvous alive.
+func (s *Service) leaseLoop() {
+	defer s.wg.Done()
+	s.connectSeeds()
+	interval := s.lease / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.connectSeeds()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Service) connectSeeds() {
+	for _, seed := range s.cfg.Seeds {
+		req := message.New(s.ep.PeerID())
+		req.AddString(elemNS, elemOp, opConnect)
+		if s.cfg.Role == RoleRendezvous {
+			req.AddString(elemNS, elemIsRdv, "true")
+		}
+		_ = s.ep.Send(seed, ServiceName, s.cfg.GroupParam, req)
+	}
+}
+
+func (s *Service) expireLocked() {
+	now := s.now()
+	for k, e := range s.clients {
+		if now.After(e.expires) {
+			delete(s.clients, k)
+		}
+	}
+	for id, e := range s.rdvs {
+		if now.After(e.expires) {
+			delete(s.rdvs, id)
+		}
+	}
+}
+
+func (s *Service) snapshotLocked(m map[jid.ID]peerEntry) []peerEntry {
+	out := make([]peerEntry, 0, len(m))
+	for _, e := range m {
+		out = append(out, e)
+	}
+	return out
+}
+
+func keysLocked(m map[jid.ID]peerEntry) []jid.ID {
+	out := make([]jid.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package rendezvous_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+// testPeer bundles an endpoint + rendezvous service on a netsim node.
+type testPeer struct {
+	name string
+	ep   *endpoint.Service
+	rdv  *rendezvous.Service
+}
+
+type cluster struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newCluster(t *testing.T) *cluster {
+	t.Helper()
+	n := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(n.Close)
+	return &cluster{t: t, net: n}
+}
+
+func (c *cluster) addPeer(name string, seed uint64, role rendezvous.Role, seeds ...endpoint.Address) *testPeer {
+	c.t.Helper()
+	node, err := c.net.AddNode(name)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		c.t.Fatal(err)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role:       role,
+		GroupParam: "net",
+		Seeds:      seeds,
+		LeaseTTL:   2 * time.Second,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	p := &testPeer{name: name, ep: ep, rdv: rdv}
+	c.t.Cleanup(func() {
+		p.rdv.Close()
+		_ = p.ep.Close()
+	})
+	return p
+}
+
+// subscribe registers a sink for a propagated destination service.
+func subscribe(t *testing.T, p *testPeer, svc string) *msgSink {
+	t.Helper()
+	s := &msgSink{ch: make(chan *message.Message, 256)}
+	if err := p.ep.RegisterHandler(svc, "net", s.handler); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+type msgSink struct {
+	mu   sync.Mutex
+	msgs []*message.Message
+	ch   chan *message.Message
+}
+
+func (s *msgSink) handler(msg *message.Message, _ endpoint.Address) {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, msg)
+	s.mu.Unlock()
+	s.ch <- msg
+}
+
+func (s *msgSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+func (s *msgSink) waitOne(t *testing.T) *message.Message {
+	t.Helper()
+	select {
+	case m := <-s.ch:
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for propagated message")
+		return nil
+	}
+}
+
+func TestEdgeConnectsToRendezvous(t *testing.T) {
+	c := newCluster(t)
+	r := c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	e := c.addPeer("edge", 2, rendezvous.RoleEdge, "mem://rdv")
+	if !e.rdv.AwaitConnected(5 * time.Second) {
+		t.Fatal("edge never connected")
+	}
+	got := e.rdv.ConnectedRendezvous()
+	if len(got) != 1 || got[0] != r.ep.PeerID() {
+		t.Fatalf("connected rdvs = %v", got)
+	}
+	waitFor(t, func() bool { return len(r.rdv.ConnectedClients()) == 1 })
+	if st := r.rdv.Stats(); st.LeasesActive != 1 {
+		t.Fatalf("rdv stats %+v", st)
+	}
+}
+
+func TestPropagateThroughOneRendezvous(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	pub := c.addPeer("pub", 2, rendezvous.RoleEdge, "mem://rdv")
+	sub1 := c.addPeer("sub1", 3, rendezvous.RoleEdge, "mem://rdv")
+	sub2 := c.addPeer("sub2", 4, rendezvous.RoleEdge, "mem://rdv")
+	for _, p := range []*testPeer{pub, sub1, sub2} {
+		if !p.rdv.AwaitConnected(5 * time.Second) {
+			t.Fatalf("%s never connected", p.name)
+		}
+	}
+	s1 := subscribe(t, sub1, "app.events")
+	s2 := subscribe(t, sub2, "app.events")
+	sp := subscribe(t, pub, "app.events")
+
+	m := message.New(pub.ep.PeerID())
+	m.AddString("app", "body", "hello-mesh")
+	if err := pub.rdv.Propagate(m, "app.events", "net"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.waitOne(t); got.Text("app", "body") != "hello-mesh" {
+		t.Fatalf("sub1 got %q", got.Text("app", "body"))
+	}
+	if got := s2.waitOne(t); got.Text("app", "body") != "hello-mesh" {
+		t.Fatalf("sub2 got %q", got.Text("app", "body"))
+	}
+	// Propagate does not loop back to the publisher.
+	time.Sleep(50 * time.Millisecond)
+	if sp.count() != 0 {
+		t.Fatal("publisher received its own propagation")
+	}
+}
+
+func TestPropagateAcrossRendezvousMesh(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdvA", 1, rendezvous.RoleRendezvous)
+	c.addPeer("rdvB", 2, rendezvous.RoleRendezvous, "mem://rdvA")
+	pub := c.addPeer("pub", 3, rendezvous.RoleEdge, "mem://rdvA")
+	sub := c.addPeer("sub", 4, rendezvous.RoleEdge, "mem://rdvB")
+	if !pub.rdv.AwaitConnected(5*time.Second) || !sub.rdv.AwaitConnected(5*time.Second) {
+		t.Fatal("peers never connected")
+	}
+	s := subscribe(t, sub, "app.events")
+	m := message.New(pub.ep.PeerID())
+	m.AddString("app", "body", "cross-mesh")
+	if err := pub.rdv.Propagate(m, "app.events", "net"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.waitOne(t); got.Text("app", "body") != "cross-mesh" {
+		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+}
+
+func TestDuplicateSuppressionInMesh(t *testing.T) {
+	// Two rendezvous seeded with each other create a cycle; the seen
+	// cache must deliver each message exactly once per subscriber.
+	c := newCluster(t)
+	c.addPeer("rdvA", 1, rendezvous.RoleRendezvous, "mem://rdvB")
+	c.addPeer("rdvB", 2, rendezvous.RoleRendezvous, "mem://rdvA")
+	pub := c.addPeer("pub", 3, rendezvous.RoleEdge, "mem://rdvA")
+	subA := c.addPeer("subA", 4, rendezvous.RoleEdge, "mem://rdvA")
+	subB := c.addPeer("subB", 5, rendezvous.RoleEdge, "mem://rdvB")
+	for _, p := range []*testPeer{pub, subA, subB} {
+		if !p.rdv.AwaitConnected(5 * time.Second) {
+			t.Fatalf("%s never connected", p.name)
+		}
+	}
+	// Give the two rendezvous time to lease with each other so the
+	// cycle actually exists when we publish.
+	time.Sleep(100 * time.Millisecond)
+	sa := subscribe(t, subA, "app.events")
+	sb := subscribe(t, subB, "app.events")
+	const total = 20
+	for i := 0; i < total; i++ {
+		m := message.New(pub.ep.PeerID())
+		m.AddBytes("app", "n", []byte{byte(i)})
+		if err := pub.rdv.Propagate(m, "app.events", "net"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return sa.count() >= total && sb.count() >= total })
+	c.net.WaitQuiesce(5 * time.Second)
+	if sa.count() != total {
+		t.Fatalf("subA received %d, want exactly %d (duplicates leaked)", sa.count(), total)
+	}
+	if sb.count() != total {
+		t.Fatalf("subB received %d, want exactly %d (duplicates leaked)", sb.count(), total)
+	}
+}
+
+func TestPropagateWithNoPeers(t *testing.T) {
+	c := newCluster(t)
+	lonely := c.addPeer("lonely", 1, rendezvous.RoleEdge)
+	m := message.New(lonely.ep.PeerID())
+	err := lonely.rdv.Propagate(m, "app.events", "net")
+	if !errors.Is(err, rendezvous.ErrNoPeers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLeaseExpiryDropsClient(t *testing.T) {
+	c := newCluster(t)
+	r := c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	e := c.addPeer("edge", 2, rendezvous.RoleEdge, "mem://rdv")
+	if !e.rdv.AwaitConnected(5 * time.Second) {
+		t.Fatal("edge never connected")
+	}
+	waitFor(t, func() bool { return len(r.rdv.ConnectedClients()) == 1 })
+	// Stop the edge's renewals by closing it; the rendezvous must drop
+	// the client after the lease TTL (2s in this cluster).
+	e.rdv.Close()
+	waitFor(t, func() bool { return len(r.rdv.ConnectedClients()) == 0 })
+}
+
+func TestRendezvousRestartHeals(t *testing.T) {
+	c := newCluster(t)
+	r := c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	e := c.addPeer("edge", 2, rendezvous.RoleEdge, "mem://rdv")
+	if !e.rdv.AwaitConnected(5 * time.Second) {
+		t.Fatal("initial connect failed")
+	}
+	// Kill the rendezvous node entirely.
+	r.rdv.Close()
+	_ = r.ep.Close()
+	// Start a replacement with the same address but a new identity.
+	r2 := c.addPeer("rdv", 9, rendezvous.RoleRendezvous)
+	// The edge's lease loop keeps retrying the seed; eventually it holds
+	// a lease with the new rendezvous.
+	waitFor(t, func() bool {
+		for _, id := range e.rdv.ConnectedRendezvous() {
+			if id == r2.ep.PeerID() {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestInvalidRole(t *testing.T) {
+	c := newCluster(t)
+	node, err := c.net.AddNode("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, 1))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ep.Close() })
+	if _, err := rendezvous.New(ep, rendezvous.Config{}); err == nil {
+		t.Fatal("zero role accepted")
+	}
+}
+
+func TestTTLBoundsPropagationDepth(t *testing.T) {
+	// Chain of rendezvous longer than the TTL: the far end must not
+	// receive a message whose hop budget ran out.
+	c := newCluster(t)
+	chain := []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8"}
+	for i, name := range chain {
+		var seeds []endpoint.Address
+		if i > 0 {
+			seeds = append(seeds, endpoint.MakeAddress("mem", chain[i-1]))
+		}
+		c.addPeer(name, uint64(10+i), rendezvous.RoleRendezvous, seeds...)
+	}
+	pub := c.addPeer("pub", 30, rendezvous.RoleEdge, "mem://r0")
+	far := c.addPeer("far", 31, rendezvous.RoleEdge, "mem://r8")
+	if !pub.rdv.AwaitConnected(5*time.Second) || !far.rdv.AwaitConnected(5*time.Second) {
+		t.Fatal("never connected")
+	}
+	// Let the rendezvous chain link up (each must lease with its
+	// predecessor).
+	time.Sleep(300 * time.Millisecond)
+	s := subscribe(t, far, "app.events")
+
+	m := message.New(pub.ep.PeerID())
+	m.TTL = 3 // pub -> r0 -> r1 -> r2, then exhausted
+	m.AddString("app", "body", "short-ttl")
+	if err := pub.rdv.Propagate(m, "app.events", "net"); err != nil {
+		t.Fatal(err)
+	}
+	c.net.WaitQuiesce(5 * time.Second)
+	if s.count() != 0 {
+		t.Fatal("message crossed more hops than its TTL allowed")
+	}
+
+	m2 := message.New(pub.ep.PeerID())
+	m2.TTL = 32
+	m2.AddString("app", "body", "long-ttl")
+	if err := pub.rdv.Propagate(m2, "app.events", "net"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.waitOne(t); got.Text("app", "body") != "long-ttl" {
+		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,305 @@
+package resolver_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+type testPeer struct {
+	ep  *endpoint.Service
+	rdv *rendezvous.Service
+	res *resolver.Service
+}
+
+type cluster struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newCluster(t *testing.T) *cluster {
+	t.Helper()
+	n := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(n.Close)
+	return &cluster{t: t, net: n}
+}
+
+func (c *cluster) addPeer(name string, seed uint64, role rendezvous.Role, seeds ...endpoint.Address) *testPeer {
+	c.t.Helper()
+	node, err := c.net.AddNode(name)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		c.t.Fatal(err)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role: role, GroupParam: "net", Seeds: seeds, LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	res, err := resolver.New(ep, rdv, "net")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	p := &testPeer{ep: ep, rdv: rdv, res: res}
+	c.t.Cleanup(func() {
+		p.res.Close()
+		p.rdv.Close()
+		_ = p.ep.Close()
+	})
+	return p
+}
+
+// echoHandler responds to every query with "echo:"+payload and records
+// responses it receives.
+type echoHandler struct {
+	mu        sync.Mutex
+	queries   []resolver.Query
+	responses []resolver.Response
+}
+
+func (h *echoHandler) ProcessQuery(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+	h.mu.Lock()
+	h.queries = append(h.queries, q)
+	h.mu.Unlock()
+	return append([]byte("echo:"), q.Payload...), nil
+}
+
+func (h *echoHandler) ProcessResponse(r resolver.Response, _ endpoint.Address) {
+	h.mu.Lock()
+	h.responses = append(h.responses, r)
+	h.mu.Unlock()
+}
+
+func (h *echoHandler) responseCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.responses)
+}
+
+func (h *echoHandler) lastResponse() resolver.Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.responses[len(h.responses)-1]
+}
+
+func TestDirectQueryResponse(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge)
+	ha, hb := &echoHandler{}, &echoHandler{}
+	if err := a.res.RegisterHandler("test.echo", ha); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.res.RegisterHandler("test.echo", hb); err != nil {
+		t.Fatal(err)
+	}
+	qid, err := a.res.SendQuery("mem://b", "test.echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qid == 0 {
+		t.Fatal("query ID should be nonzero")
+	}
+	waitFor(t, func() bool { return ha.responseCount() == 1 })
+	r := ha.lastResponse()
+	if r.QueryID != qid {
+		t.Fatalf("response qid = %d, want %d", r.QueryID, qid)
+	}
+	if string(r.Payload) != "echo:ping" {
+		t.Fatalf("payload = %q", r.Payload)
+	}
+	if r.Src != b.ep.PeerID() {
+		t.Fatalf("src = %v", r.Src)
+	}
+}
+
+func TestQueryToMissingHandlerIsDropped(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge)
+	_ = b
+	ha := &echoHandler{}
+	if err := a.res.RegisterHandler("test.echo", ha); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.res.SendQuery("mem://b", "test.echo", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if ha.responseCount() != 0 {
+		t.Fatal("got response from peer with no handler")
+	}
+}
+
+func TestHandlerReturningNilSendsNoResponse(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge)
+	ha := &echoHandler{}
+	if err := a.res.RegisterHandler("test.silent", ha); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	var mu sync.Mutex
+	if err := b.res.RegisterHandler("test.silent", resolver.HandlerFunc{
+		OnQuery: func(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+			mu.Lock()
+			got++
+			mu.Unlock()
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.res.SendQuery("mem://b", "test.silent", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return got == 1 })
+	time.Sleep(50 * time.Millisecond)
+	if ha.responseCount() != 0 {
+		t.Fatal("nil response payload still produced a response message")
+	}
+}
+
+func TestHandlerErrorSendsNoResponse(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge)
+	ha := &echoHandler{}
+	if err := a.res.RegisterHandler("test.err", ha); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.res.RegisterHandler("test.err", resolver.HandlerFunc{
+		OnQuery: func(resolver.Query, endpoint.Address) ([]byte, error) {
+			return []byte("should-not-be-sent"), fmt.Errorf("boom")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.res.SendQuery("mem://b", "test.err", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if ha.responseCount() != 0 {
+		t.Fatal("handler error still produced a response")
+	}
+}
+
+func TestPropagatedQueryReachesAllPeers(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous)
+	q := c.addPeer("querier", 2, rendezvous.RoleEdge, "mem://rdv")
+	r1 := c.addPeer("r1", 3, rendezvous.RoleEdge, "mem://rdv")
+	r2 := c.addPeer("r2", 4, rendezvous.RoleEdge, "mem://rdv")
+	for _, p := range []*testPeer{q, r1, r2} {
+		if !p.rdv.AwaitConnected(5 * time.Second) {
+			t.Fatal("peer never connected")
+		}
+	}
+	hq := &echoHandler{}
+	if err := q.res.RegisterHandler("test.echo", hq); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*testPeer{r1, r2} {
+		if err := p.res.RegisterHandler("test.echo", &echoHandler{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qid, err := q.res.PropagateQuery("test.echo", []byte("who-is-there"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both responders answer; the querier's own handler must not
+	// self-answer.
+	waitFor(t, func() bool { return hq.responseCount() == 2 })
+	hq.mu.Lock()
+	defer hq.mu.Unlock()
+	for _, r := range hq.responses {
+		if r.QueryID != qid {
+			t.Fatalf("qid %d, want %d", r.QueryID, qid)
+		}
+		if string(r.Payload) != "echo:who-is-there" {
+			t.Fatalf("payload %q", r.Payload)
+		}
+	}
+}
+
+func TestPropagateWithoutPropagator(t *testing.T) {
+	c := newCluster(t)
+	node, err := c.net.AddNode("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, 1))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ep.Close() })
+	res, err := resolver.New(ep, nil, "net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(res.Close)
+	if _, err := res.PropagateQuery("h", nil); !errors.Is(err, resolver.ErrNoPropagator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateHandlerName(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	if err := a.res.RegisterHandler("dup", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.res.RegisterHandler("dup", &echoHandler{}); !errors.Is(err, resolver.ErrDupHandler) {
+		t.Fatalf("err = %v", err)
+	}
+	a.res.UnregisterHandler("dup")
+	if err := a.res.RegisterHandler("dup", &echoHandler{}); err != nil {
+		t.Fatalf("after unregister: %v", err)
+	}
+}
+
+func TestQueryIDsAreUniquePerPeer(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge)
+	if err := b.res.RegisterHandler("test.echo", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		qid, err := a.res.SendQuery("mem://b", "test.echo", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[qid] {
+			t.Fatalf("duplicate query ID %d", qid)
+		}
+		seen[qid] = true
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

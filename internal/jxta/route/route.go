@@ -1,0 +1,434 @@
+// Package route implements the JXTA Endpoint Routing Protocol (ERP).
+//
+// Peers that cannot talk directly — different transports, firewalls,
+// NATs — exchange messages through relay peers (rendezvous/routers).
+// The router keeps a route table from peer IDs to direct addresses and
+// relay hops, discovers routes by querying the group ("who can reach
+// peer X?"), and transparently wraps messages for relay forwarding when
+// a direct send fails.
+//
+// A firewalled peer stays reachable because its rendezvous holds an open
+// flow to it: the rendezvous answers route queries for its clients and
+// forwards wrapped messages down the open flow.
+package route
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+)
+
+// Protocol names.
+const (
+	// HandlerName is the resolver handler for route queries.
+	HandlerName = "jxta.erp"
+	// RelayService is the endpoint service that accepts wrapped messages
+	// for forwarding.
+	RelayService = "jxta.erp.relay"
+)
+
+// Message element names, namespace "erp".
+const (
+	elemNS       = "erp"
+	elemDstPeer  = "DstPeer"
+	elemDstSvc   = "DstSvc"
+	elemDstParam = "DstParam"
+)
+
+// DefaultRouteTTL is how long a discovered route stays cached.
+const DefaultRouteTTL = 5 * time.Minute
+
+// Errors.
+var (
+	ErrNoRoute  = errors.New("route: no route to peer")
+	ErrResolve  = errors.New("route: route resolution failed")
+	ErrNotRelay = errors.New("route: this peer does not relay")
+)
+
+// AddressBook exposes the directly reachable peers a relay knows — the
+// rendezvous service implements it with its client table.
+type AddressBook interface {
+	// DirectAddress returns an address this peer can reach id at, if any.
+	DirectAddress(id jid.ID) (endpoint.Address, bool)
+}
+
+// Endpoint is the endpoint capability the router needs.
+type Endpoint interface {
+	endpoint.Sender
+	RegisterHandler(svc, param string, h endpoint.Handler) error
+	UnregisterHandler(svc, param string)
+}
+
+// Config configures a Router.
+type Config struct {
+	// Group scopes the router's endpoint/resolver registrations.
+	Group string
+	// Relay, when true, makes this peer forward wrapped messages and
+	// answer route queries for peers in its address book (router role).
+	Relay bool
+	// Firewalled marks this peer as unable to accept unsolicited inbound
+	// traffic. It then never advertises direct routes to itself — doing
+	// so would also punch a hole that defeats the firewall model — and
+	// relies on its rendezvous answering route queries on its behalf
+	// with a relay hop.
+	Firewalled bool
+	// Book lists directly reachable peers (nil means none beyond self).
+	Book AddressBook
+	// RouteTTL overrides the route cache lifetime.
+	RouteTTL time.Duration
+	// Clock substitutes the time source (tests).
+	Clock func() time.Time
+}
+
+type routeEntry struct {
+	direct  []endpoint.Address
+	hops    []adv.Hop
+	expires time.Time
+}
+
+// Router is one peer's ERP instance.
+type Router struct {
+	ep  Endpoint
+	res *resolver.Service
+	cfg Config
+	now func() time.Time
+	ttl time.Duration
+
+	mu      sync.Mutex
+	table   map[jid.ID]routeEntry
+	waiters map[jid.ID][]chan struct{}
+	stats   Stats
+	closed  bool
+}
+
+// Stats counts routing activity.
+type Stats struct {
+	DirectSends   int64
+	RelayedSends  int64
+	Forwarded     int64
+	QueriesServed int64
+	RoutesLearned int64
+}
+
+// New creates a router, registering its resolver handler and, for relay
+// peers, the relay forwarding service.
+func New(ep Endpoint, res *resolver.Service, cfg Config) (*Router, error) {
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	ttl := cfg.RouteTTL
+	if ttl == 0 {
+		ttl = DefaultRouteTTL
+	}
+	r := &Router{
+		ep:      ep,
+		res:     res,
+		cfg:     cfg,
+		now:     now,
+		ttl:     ttl,
+		table:   make(map[jid.ID]routeEntry),
+		waiters: make(map[jid.ID][]chan struct{}),
+	}
+	if err := res.RegisterHandler(HandlerName, (*routeHandler)(r)); err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	if cfg.Relay {
+		if err := ep.RegisterHandler(RelayService, cfg.Group, r.handleRelay); err != nil {
+			res.UnregisterHandler(HandlerName)
+			return nil, fmt.Errorf("route: %w", err)
+		}
+	}
+	return r, nil
+}
+
+// Close unregisters the router's handlers.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	for _, ws := range r.waiters {
+		for _, w := range ws {
+			close(w)
+		}
+	}
+	r.waiters = map[jid.ID][]chan struct{}{}
+	r.mu.Unlock()
+	r.res.UnregisterHandler(HandlerName)
+	if r.cfg.Relay {
+		r.ep.UnregisterHandler(RelayService, r.cfg.Group)
+	}
+}
+
+// AddRoute installs or extends a route (e.g. from a RouteAdv found in
+// discovery). Routes for the same destination merge: several peers may
+// answer one query — the destination with its direct addresses, relays
+// with hops through themselves — and all of them are usable.
+func (r *Router) AddRoute(ra *adv.RouteAdv) {
+	r.mu.Lock()
+	entry, ok := r.table[ra.DestPeer]
+	if !ok || r.now().After(entry.expires) {
+		entry = routeEntry{}
+	}
+	for _, a := range ra.Addresses {
+		addr := endpoint.Address(a)
+		if !containsAddr(entry.direct, addr) {
+			entry.direct = append(entry.direct, addr)
+		}
+	}
+	for _, hop := range ra.Hops {
+		if !containsHop(entry.hops, hop.PeerID) {
+			entry.hops = append(entry.hops, hop)
+		}
+	}
+	entry.expires = r.now().Add(r.ttl)
+	r.table[ra.DestPeer] = entry
+	for _, w := range r.waiters[ra.DestPeer] {
+		close(w)
+	}
+	delete(r.waiters, ra.DestPeer)
+	r.mu.Unlock()
+}
+
+func containsAddr(list []endpoint.Address, a endpoint.Address) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func containsHop(list []adv.Hop, peer jid.ID) bool {
+	for _, h := range list {
+		if h.PeerID == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// KnownRoute reports the cached route for a peer, if fresh.
+func (r *Router) KnownRoute(dst jid.ID) (*adv.RouteAdv, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.table[dst]
+	if !ok || r.now().After(e.expires) {
+		return nil, false
+	}
+	ra := &adv.RouteAdv{DestPeer: dst}
+	for _, a := range e.direct {
+		ra.Addresses = append(ra.Addresses, string(a))
+	}
+	ra.Hops = append(ra.Hops, e.hops...)
+	return ra, true
+}
+
+// Send delivers msg to the (svc, param) service of peer dst. It tries
+// the hinted direct addresses, then the cached route's direct addresses,
+// then relays. hints may be nil.
+func (r *Router) Send(dst jid.ID, hints []endpoint.Address, svc, param string, msg *message.Message) error {
+	for _, a := range hints {
+		if err := r.ep.Send(a, svc, param, msg); err == nil {
+			r.count(func(s *Stats) { s.DirectSends++ })
+			return nil
+		}
+	}
+	r.mu.Lock()
+	e, ok := r.table[dst]
+	if ok && r.now().After(e.expires) {
+		delete(r.table, dst)
+		ok = false
+	}
+	r.mu.Unlock()
+	if !ok {
+		if len(hints) > 0 {
+			return fmt.Errorf("%w: %s (direct addresses unreachable, no cached route)", ErrNoRoute, dst.Short())
+		}
+		return fmt.Errorf("%w: %s", ErrNoRoute, dst.Short())
+	}
+	for _, a := range e.direct {
+		if err := r.ep.Send(a, svc, param, msg); err == nil {
+			r.count(func(s *Stats) { s.DirectSends++ })
+			return nil
+		}
+	}
+	for _, hop := range e.hops {
+		for _, relay := range hop.Addresses {
+			wrapped := msg.Dup()
+			wrapped.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDstPeer, Data: []byte(dst.String())})
+			wrapped.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDstSvc, Data: []byte(svc)})
+			wrapped.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDstParam, Data: []byte(param)})
+			if err := r.ep.Send(endpoint.Address(relay), RelayService, r.cfg.Group, wrapped); err == nil {
+				r.count(func(s *Stats) { s.RelayedSends++ })
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("%w: %s (all routes failed)", ErrNoRoute, dst.Short())
+}
+
+// Resolve discovers a route to dst by querying the group, blocking until
+// a route is learned or the timeout elapses.
+func (r *Router) Resolve(dst jid.ID, timeout time.Duration) error {
+	if _, ok := r.KnownRoute(dst); ok {
+		return nil
+	}
+	wait := make(chan struct{})
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrResolve
+	}
+	r.waiters[dst] = append(r.waiters[dst], wait)
+	r.mu.Unlock()
+
+	payload, err := xml.Marshal(routeQuery{DstPeer: dst})
+	if err != nil {
+		return fmt.Errorf("route: encode query: %w", err)
+	}
+	if _, err := r.res.PropagateQuery(HandlerName, payload); err != nil {
+		return fmt.Errorf("route: propagate query: %w", err)
+	}
+	select {
+	case <-wait:
+		if _, ok := r.KnownRoute(dst); ok {
+			return nil
+		}
+		return ErrResolve
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: timeout resolving %s", ErrResolve, dst.Short())
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Router) count(f func(*Stats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// handleRelay forwards a wrapped message to its final destination.
+func (r *Router) handleRelay(msg *message.Message, _ endpoint.Address) {
+	dstRaw := msg.Text(elemNS, elemDstPeer)
+	dst, err := jid.Parse(dstRaw)
+	if err != nil {
+		return
+	}
+	svc := msg.Text(elemNS, elemDstSvc)
+	param := msg.Text(elemNS, elemDstParam)
+	if svc == "" {
+		return
+	}
+	// Local delivery if we are the destination (a relay can be queried
+	// directly too).
+	if dst == r.ep.PeerID() {
+		return // the endpoint would have delivered it already
+	}
+	addr, ok := r.lookupDirect(dst)
+	if !ok {
+		return // cannot help; the sender will try other relays
+	}
+	fwd := msg.Dup()
+	fwd.RemoveElement(elemNS, elemDstPeer)
+	fwd.RemoveElement(elemNS, elemDstSvc)
+	fwd.RemoveElement(elemNS, elemDstParam)
+	if err := r.ep.Send(addr, svc, param, fwd); err == nil {
+		r.count(func(s *Stats) { s.Forwarded++ })
+	}
+}
+
+func (r *Router) lookupDirect(dst jid.ID) (endpoint.Address, bool) {
+	if r.cfg.Book != nil {
+		if a, ok := r.cfg.Book.DirectAddress(dst); ok {
+			return a, true
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.table[dst]
+	if ok && !r.now().After(e.expires) && len(e.direct) > 0 {
+		return e.direct[0], true
+	}
+	return "", false
+}
+
+// --- resolver handler ---
+
+type routeQuery struct {
+	XMLName xml.Name `xml:"RouteQuery"`
+	DstPeer jid.ID   `xml:"DstPeer"`
+}
+
+type routeHandler Router
+
+var _ resolver.Handler = (*routeHandler)(nil)
+
+// ProcessQuery answers route queries: for ourselves with our direct
+// addresses, and — when relaying — for peers in our address book with a
+// hop through us.
+func (h *routeHandler) ProcessQuery(q resolver.Query, _ endpoint.Address) ([]byte, error) {
+	r := (*Router)(h)
+	var query routeQuery
+	if err := xml.Unmarshal(q.Payload, &query); err != nil {
+		return nil, err
+	}
+	r.count(func(s *Stats) { s.QueriesServed++ })
+
+	if query.DstPeer == r.ep.PeerID() {
+		if r.cfg.Firewalled {
+			// Stay silent: our relays answer for us, and an outbound
+			// response would misadvertise a direct address that most
+			// senders cannot use.
+			return nil, nil
+		}
+		ra := adv.RouteAdv{DestPeer: query.DstPeer}
+		for _, a := range r.ep.LocalAddresses() {
+			ra.Addresses = append(ra.Addresses, string(a))
+		}
+		return xml.Marshal(ra)
+	}
+	if r.cfg.Relay && r.cfg.Book != nil {
+		if _, ok := r.cfg.Book.DirectAddress(query.DstPeer); ok {
+			ra := adv.RouteAdv{DestPeer: query.DstPeer}
+			hop := adv.Hop{PeerID: r.ep.PeerID()}
+			for _, a := range r.ep.LocalAddresses() {
+				hop.Addresses = append(hop.Addresses, string(a))
+			}
+			ra.Hops = append(ra.Hops, hop)
+			return xml.Marshal(ra)
+		}
+	}
+	return nil, nil
+}
+
+// ProcessResponse caches learned routes and wakes resolvers.
+func (h *routeHandler) ProcessResponse(resp resolver.Response, _ endpoint.Address) {
+	r := (*Router)(h)
+	var ra adv.RouteAdv
+	if err := xml.Unmarshal(resp.Payload, &ra); err != nil {
+		return
+	}
+	if ra.DestPeer.IsZero() {
+		return
+	}
+	r.count(func(s *Stats) { s.RoutesLearned++ })
+	r.AddRoute(&ra)
+}

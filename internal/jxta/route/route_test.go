@@ -1,0 +1,275 @@
+package route_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/resolver"
+	"github.com/tps-p2p/tps/internal/jxta/route"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+type testPeer struct {
+	name string
+	ep   *endpoint.Service
+	rdv  *rendezvous.Service
+	res  *resolver.Service
+	rtr  *route.Router
+}
+
+type cluster struct {
+	t   *testing.T
+	net *netsim.Network
+}
+
+func newCluster(t *testing.T) *cluster {
+	t.Helper()
+	n := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(n.Close)
+	return &cluster{t: t, net: n}
+}
+
+func (c *cluster) addPeer(name string, seed uint64, role rendezvous.Role, firewalled bool, seeds ...endpoint.Address) *testPeer {
+	c.t.Helper()
+	var opts []netsim.NodeOption
+	if firewalled {
+		opts = append(opts, netsim.WithFirewall())
+	}
+	node, err := c.net.AddNode(name, opts...)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, seed))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		c.t.Fatal(err)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role: role, GroupParam: "net", Seeds: seeds, LeaseTTL: 2 * time.Second,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	res, err := resolver.New(ep, rdv, "net")
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	rtr, err := route.New(ep, res, route.Config{
+		Group:      "net",
+		Relay:      role == rendezvous.RoleRendezvous,
+		Firewalled: firewalled,
+		Book:       rdv,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	p := &testPeer{name: name, ep: ep, rdv: rdv, res: res, rtr: rtr}
+	c.t.Cleanup(func() {
+		p.rtr.Close()
+		p.res.Close()
+		p.rdv.Close()
+		_ = p.ep.Close()
+	})
+	return p
+}
+
+func recvChan(t *testing.T, p *testPeer, svc string) chan *message.Message {
+	t.Helper()
+	ch := make(chan *message.Message, 64)
+	if err := p.ep.RegisterHandler(svc, "net", func(m *message.Message, _ endpoint.Address) {
+		ch <- m
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestDirectSendWithHints(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge, false)
+	b := c.addPeer("b", 2, rendezvous.RoleEdge, false)
+	got := recvChan(t, b, "app.direct")
+	m := message.New(a.ep.PeerID())
+	m.AddString("app", "body", "direct")
+	if err := a.rtr.Send(b.ep.PeerID(), []endpoint.Address{"mem://b"}, "app.direct", "net", m); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rm := <-got:
+		if rm.Text("app", "body") != "direct" {
+			t.Fatalf("got %q", rm.Text("app", "body"))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+	if st := a.rtr.Stats(); st.DirectSends != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	c := newCluster(t)
+	a := c.addPeer("a", 1, rendezvous.RoleEdge, false)
+	ghost := jid.FromSeed(jid.KindPeer, 99)
+	err := a.rtr.Send(ghost, nil, "svc", "net", message.New(a.ep.PeerID()))
+	if !errors.Is(err, route.ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+	err = a.rtr.Send(ghost, []endpoint.Address{"mem://nope"}, "svc", "net", message.New(a.ep.PeerID()))
+	if !errors.Is(err, route.ErrNoRoute) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResolveSelfAdvertisedRoute(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous, false)
+	a := c.addPeer("a", 2, rendezvous.RoleEdge, false, "mem://rdv")
+	b := c.addPeer("b", 3, rendezvous.RoleEdge, false, "mem://rdv")
+	if !a.rdv.AwaitConnected(5*time.Second) || !b.rdv.AwaitConnected(5*time.Second) {
+		t.Fatal("not connected")
+	}
+	// a has no idea where b lives; Resolve must discover b's direct
+	// address (b answers the propagated route query itself).
+	if err := a.rtr.Resolve(b.ep.PeerID(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Resolve returns on the first usable answer; b's own direct-address
+	// answer may arrive a moment later and merge in.
+	waitFor(t, func() bool {
+		ra, ok := a.rtr.KnownRoute(b.ep.PeerID())
+		return ok && len(ra.Addresses) > 0 && ra.Addresses[0] == "mem://b"
+	})
+	// And the route works without hints.
+	got := recvChan(t, b, "app.routed")
+	m := message.New(a.ep.PeerID())
+	m.AddString("app", "body", "found-you")
+	if err := a.rtr.Send(b.ep.PeerID(), nil, "app.routed", "net", m); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rm := <-got:
+		if rm.Text("app", "body") != "found-you" {
+			t.Fatalf("got %q", rm.Text("app", "body"))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestRelayThroughRendezvousToFirewalledPeer(t *testing.T) {
+	c := newCluster(t)
+	r := c.addPeer("rdv", 1, rendezvous.RoleRendezvous, false)
+	a := c.addPeer("a", 2, rendezvous.RoleEdge, false, "mem://rdv")
+	// fw is behind a firewall: only its rendezvous can reach it, over the
+	// flow its lease opened.
+	fw := c.addPeer("fw", 3, rendezvous.RoleEdge, true, "mem://rdv")
+	if !a.rdv.AwaitConnected(5*time.Second) || !fw.rdv.AwaitConnected(5*time.Second) {
+		t.Fatal("not connected")
+	}
+	got := recvChan(t, fw, "app.fw")
+
+	// Direct send must fail (firewall).
+	m := message.New(a.ep.PeerID())
+	m.AddString("app", "body", "knock")
+	if err := a.rtr.Send(fw.ep.PeerID(), []endpoint.Address{"mem://fw"}, "app.fw", "net", m); err == nil {
+		t.Fatal("direct send through firewall succeeded")
+	}
+
+	// Route resolution discovers the relay hop through the rendezvous.
+	if err := a.rtr.Resolve(fw.ep.PeerID(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ra, ok := a.rtr.KnownRoute(fw.ep.PeerID())
+	if !ok || len(ra.Hops) == 0 {
+		t.Fatalf("route = %+v, ok=%v; want relay hop", ra, ok)
+	}
+	if ra.Hops[0].PeerID != r.ep.PeerID() {
+		t.Fatalf("hop peer = %v, want rendezvous", ra.Hops[0].PeerID)
+	}
+
+	// Sending via the router now relays through the rendezvous.
+	m2 := message.New(a.ep.PeerID())
+	m2.AddString("app", "body", "via-relay")
+	if err := a.rtr.Send(fw.ep.PeerID(), []endpoint.Address{"mem://fw"}, "app.fw", "net", m2); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case rm := <-got:
+		if rm.Text("app", "body") != "via-relay" {
+			t.Fatalf("got %q", rm.Text("app", "body"))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("relayed message never arrived")
+	}
+	if st := a.rtr.Stats(); st.RelayedSends != 1 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	waitFor(t, func() bool { return r.rtr.Stats().Forwarded == 1 })
+}
+
+func TestAddRouteAndExpiry(t *testing.T) {
+	clk := time.Unix(0, 0)
+	now := func() time.Time { return clk }
+	c := newCluster(t)
+	node, err := c.net.AddNode("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, 1))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ep.Close() })
+	res, err := resolver.New(ep, nil, "net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(res.Close)
+	rtr, err := route.New(ep, res, route.Config{Group: "net", RouteTTL: time.Minute, Clock: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rtr.Close)
+
+	dst := jid.FromSeed(jid.KindPeer, 7)
+	rtr.AddRoute(&adv.RouteAdv{DestPeer: dst, Addresses: []string{"mem://y"}})
+	if _, ok := rtr.KnownRoute(dst); !ok {
+		t.Fatal("route not cached")
+	}
+	clk = clk.Add(2 * time.Minute)
+	if _, ok := rtr.KnownRoute(dst); ok {
+		t.Fatal("route survived its TTL")
+	}
+}
+
+func TestResolveTimeout(t *testing.T) {
+	c := newCluster(t)
+	c.addPeer("rdv", 1, rendezvous.RoleRendezvous, false)
+	a := c.addPeer("a", 2, rendezvous.RoleEdge, false, "mem://rdv")
+	if !a.rdv.AwaitConnected(5 * time.Second) {
+		t.Fatal("not connected")
+	}
+	ghost := jid.FromSeed(jid.KindPeer, 404)
+	err := a.rtr.Resolve(ghost, 200*time.Millisecond)
+	if !errors.Is(err, route.ErrResolve) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

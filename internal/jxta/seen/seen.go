@@ -1,0 +1,129 @@
+// Package seen provides a time-bounded duplicate-suppression cache.
+//
+// Propagated (many-to-many) communication in a peer-to-peer mesh
+// inevitably delivers the same message along several paths; rendezvous
+// peers and the wire service remember recently seen message IDs and drop
+// replays. Entries expire after a TTL and the cache is capacity-bounded,
+// evicting oldest-first, so a chatty peer cannot exhaust memory.
+package seen
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// Defaults chosen to cover the paper's workloads (10 000-event floods)
+// with headroom.
+const (
+	DefaultTTL      = 2 * time.Minute
+	DefaultCapacity = 65536
+)
+
+// Cache is a concurrency-safe set of recently seen IDs.
+type Cache struct {
+	ttl time.Duration
+	cap int
+	now func() time.Time
+
+	mu    sync.Mutex
+	order *list.List               // entries oldest-first
+	byID  map[jid.ID]*list.Element // id -> entry
+}
+
+type entry struct {
+	id jid.ID
+	at time.Time
+}
+
+// Option customises a Cache.
+type Option func(*Cache)
+
+// WithTTL sets how long an ID stays remembered.
+func WithTTL(ttl time.Duration) Option { return func(c *Cache) { c.ttl = ttl } }
+
+// WithCapacity bounds the number of remembered IDs.
+func WithCapacity(n int) Option { return func(c *Cache) { c.cap = n } }
+
+// WithClock substitutes the time source (tests).
+func WithClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
+
+// New creates a cache with the given options.
+func New(opts ...Option) *Cache {
+	c := &Cache{
+		ttl:   DefaultTTL,
+		cap:   DefaultCapacity,
+		now:   time.Now,
+		order: list.New(),
+		byID:  make(map[jid.ID]*list.Element),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Observe records the ID and reports whether it is new: true means the
+// caller sees this ID for the first time (within TTL) and should process
+// the message; false means duplicate.
+func (c *Cache) Observe(id jid.ID) bool {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	if _, ok := c.byID[id]; ok {
+		return false
+	}
+	for len(c.byID) >= c.cap {
+		c.evictOldestLocked()
+	}
+	c.byID[id] = c.order.PushBack(entry{id: id, at: now})
+	return true
+}
+
+// Seen reports whether the ID is currently remembered, without recording
+// it.
+func (c *Cache) Seen(id jid.ID) bool {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	_, ok := c.byID[id]
+	return ok
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	return len(c.byID)
+}
+
+func (c *Cache) expireLocked(now time.Time) {
+	for {
+		front := c.order.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(entry)
+		if now.Sub(e.at) < c.ttl {
+			return
+		}
+		c.order.Remove(front)
+		delete(c.byID, e.id)
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	front := c.order.Front()
+	if front == nil {
+		return
+	}
+	e := front.Value.(entry)
+	c.order.Remove(front)
+	delete(c.byID, e.id)
+}

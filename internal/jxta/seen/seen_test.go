@@ -1,0 +1,152 @@
+package seen
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func TestObserveNewThenDuplicate(t *testing.T) {
+	c := New()
+	id := jid.FromSeed(jid.KindMessage, 1)
+	if !c.Observe(id) {
+		t.Fatal("first Observe returned false")
+	}
+	if c.Observe(id) {
+		t.Fatal("second Observe returned true")
+	}
+	if !c.Seen(id) {
+		t.Fatal("Seen false after Observe")
+	}
+	if c.Seen(jid.FromSeed(jid.KindMessage, 2)) {
+		t.Fatal("Seen true for never-observed ID")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := New(WithTTL(time.Minute), WithClock(clk.now))
+	id := jid.FromSeed(jid.KindMessage, 1)
+	c.Observe(id)
+	clk.advance(59 * time.Second)
+	if !c.Seen(id) {
+		t.Fatal("expired before TTL")
+	}
+	clk.advance(2 * time.Second)
+	if c.Seen(id) {
+		t.Fatal("still seen after TTL")
+	}
+	if !c.Observe(id) {
+		t.Fatal("re-observe after expiry should be new")
+	}
+}
+
+func TestCapacityEvictsOldest(t *testing.T) {
+	c := New(WithCapacity(3))
+	ids := make([]jid.ID, 5)
+	for i := range ids {
+		ids[i] = jid.FromSeed(jid.KindMessage, uint64(i))
+		c.Observe(ids[i])
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.Seen(ids[0]) || c.Seen(ids[1]) {
+		t.Fatal("oldest entries not evicted")
+	}
+	for _, id := range ids[2:] {
+		if !c.Seen(id) {
+			t.Fatalf("recent entry %v evicted", id)
+		}
+	}
+}
+
+func TestLenAfterMixedOps(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := New(WithTTL(10*time.Second), WithClock(clk.now))
+	for i := 0; i < 10; i++ {
+		c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+		clk.advance(time.Second)
+	}
+	// Entries observed at t=0..4 have expired by t=10 (TTL 10s: age >= 10).
+	if got := c.Len(); got != 9 {
+		t.Fatalf("Len = %d, want 9", got)
+	}
+	clk.advance(time.Hour)
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len after long idle = %d", got)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	c := New()
+	const goroutines = 8
+	const ids = 100
+	counts := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				if c.Observe(jid.FromSeed(jid.KindMessage, uint64(i))) {
+					counts[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	// Exactly one goroutine wins "new" per ID.
+	if total != ids {
+		t.Fatalf("total new observations = %d, want %d", total, ids)
+	}
+}
+
+// Property: Observe returns true at most once per ID within TTL,
+// regardless of the observation order.
+func TestQuickAtMostOnceSemantics(t *testing.T) {
+	f := func(seeds []uint64) bool {
+		c := New()
+		news := make(map[jid.ID]int)
+		for _, s := range seeds {
+			id := jid.FromSeed(jid.KindMessage, s%32)
+			if c.Observe(id) {
+				news[id]++
+			}
+		}
+		for _, n := range news {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

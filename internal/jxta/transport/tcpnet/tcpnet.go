@@ -1,0 +1,248 @@
+// Package tcpnet is a real TCP transport for the endpoint layer, using
+// length-prefixed frames over persistent connections. It serves the
+// "tcp" address scheme ("tcp://host:port").
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+)
+
+// Scheme is the address scheme served by this transport.
+const Scheme = "tcp"
+
+// MaxFrame bounds a single frame; larger frames indicate corruption or a
+// hostile peer and cause the connection to drop.
+const MaxFrame = 32 << 20
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("tcpnet: transport closed")
+
+// Transport is a TCP-backed endpoint transport.
+type Transport struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	recv     func([]byte)
+	conns    map[string]*tconn // outbound connection cache, keyed by host:port
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// tconn pairs a connection with a write mutex: concurrent Sends to one
+// host must not interleave their frame bytes.
+type tconn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+func (tc *tconn) writeFrame(frame []byte) error {
+	buf := make([]byte, 4+len(frame))
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	tc.wmu.Lock()
+	defer tc.wmu.Unlock()
+	_, err := tc.c.Write(buf)
+	return err
+}
+
+var _ endpoint.Transport = (*Transport)(nil)
+
+// Listen starts a transport accepting on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Transport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	t := &Transport{
+		ln:       ln,
+		conns:    make(map[string]*tconn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Scheme implements endpoint.Transport.
+func (t *Transport) Scheme() string { return Scheme }
+
+// LocalAddress implements endpoint.Transport.
+func (t *Transport) LocalAddress() endpoint.Address {
+	return endpoint.MakeAddress(Scheme, t.ln.Addr().String())
+}
+
+// SetReceiver implements endpoint.Transport.
+func (t *Transport) SetReceiver(recv func(frame []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recv = recv
+}
+
+// Send implements endpoint.Transport. It reuses a cached connection to
+// the destination, dialing (or redialing once, if the cached connection
+// has gone stale) as needed.
+func (t *Transport) Send(to endpoint.Address, frame []byte) error {
+	host := to.Host()
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(frame))
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, fresh, err := t.getConn(host)
+		if err != nil {
+			return err
+		}
+		if err = conn.writeFrame(frame); err == nil {
+			return nil
+		}
+		t.dropConn(host, conn)
+		if fresh {
+			// A connection we just dialed failed to accept a write;
+			// retrying would dial the same dead peer again.
+			return fmt.Errorf("tcpnet: write to %s: %w", host, err)
+		}
+	}
+	return fmt.Errorf("tcpnet: write to %s failed after redial", host)
+}
+
+// getConn returns a cached or fresh connection and whether it was dialed
+// by this call.
+func (t *Transport) getConn(host string) (*tconn, bool, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if c, ok := t.conns[host]; ok {
+		t.mu.Unlock()
+		return c, false, nil
+	}
+	t.mu.Unlock()
+
+	c, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, false, fmt.Errorf("tcpnet: dial %s: %w", host, err)
+	}
+	tc := &tconn{c: c}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, false, ErrClosed
+	}
+	if existing, ok := t.conns[host]; ok {
+		// Lost the race with a concurrent dialer; keep the winner.
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, false, nil
+	}
+	t.conns[host] = tc
+	t.mu.Unlock()
+	// Frames can flow back on the outbound connection too.
+	t.wg.Add(1)
+	go t.readLoop(c, func() { t.dropConn(host, tc) })
+	return tc, true, nil
+}
+
+func (t *Transport) dropConn(host string, tc *tconn) {
+	t.mu.Lock()
+	if t.conns[host] == tc {
+		delete(t.conns, host)
+	}
+	t.mu.Unlock()
+	_ = tc.c.Close()
+}
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// Track accepted connections: Close must tear them down too, or
+		// their blocked readers would keep the transport alive forever.
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn, func() {
+			t.mu.Lock()
+			delete(t.accepted, conn)
+			t.mu.Unlock()
+			_ = conn.Close()
+		})
+	}
+}
+
+func (t *Transport) readLoop(conn net.Conn, onExit func()) {
+	defer t.wg.Done()
+	defer onExit()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxFrame {
+			return // corrupt or hostile; drop the connection
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		t.mu.Lock()
+		recv := t.recv
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		if recv != nil {
+			recv(frame)
+		}
+	}
+}
+
+// Close implements endpoint.Transport. It stops the listener, closes all
+// connections and waits for reader goroutines to exit.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tconn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = map[string]*tconn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	return err
+}

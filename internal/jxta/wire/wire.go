@@ -1,0 +1,215 @@
+// Package wire implements the JXTA wire service: many-to-many propagated
+// pipes.
+//
+// Where a unicast pipe binds one sender to one receiver, a wire pipe
+// fans every message out to all peers holding an input end, using
+// rendezvous propagation. Messages loop back to the sender's own input
+// pipe (a publisher that also subscribes sees its own traffic) and a
+// duplicate cache suppresses the replays that a meshed topology
+// inevitably produces — the functionality the paper's SR-JXTA
+// application had to rebuild by hand (§4.4 footnote 1).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/tps-p2p/tps/internal/jxta/adv"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/seen"
+)
+
+// ServiceName is the endpoint service name of the wire service (JXTA's
+// WireService.WireName).
+const ServiceName = "jxta.service.wire"
+
+// Message element names, namespace "wire".
+const (
+	elemNS = "wire"
+	elemID = "ID"
+)
+
+// Errors.
+var (
+	ErrClosed    = errors.New("wire: closed")
+	ErrDupInput  = errors.New("wire: input pipe already exists")
+	ErrWrongType = errors.New("wire: advertisement type mismatch")
+)
+
+// Propagator fans messages into the group; the rendezvous service
+// implements it.
+type Propagator interface {
+	Propagate(msg *message.Message, dsvc, dparam string) error
+}
+
+// Endpoint is the endpoint capability the wire service needs.
+type Endpoint interface {
+	endpoint.Sender
+	RegisterHandler(svc, param string, h endpoint.Handler) error
+	UnregisterHandler(svc, param string)
+}
+
+// Config configures a wire Service.
+type Config struct {
+	// Group scopes the service to a peer group.
+	Group string
+	// DisableDedupe turns off the duplicate-suppression cache. Only the
+	// ablation benchmarks use this; real deployments always deduplicate.
+	DisableDedupe bool
+}
+
+// Stats counts wire traffic.
+type Stats struct {
+	Sent       int64
+	Received   int64
+	Duplicates int64
+}
+
+// Service manages the propagated pipes of one peer in one group.
+type Service struct {
+	ep   Endpoint
+	prop Propagator
+	cfg  Config
+	seen *seen.Cache
+
+	mu     sync.Mutex
+	inputs map[jid.ID]*InputPipe
+	stats  Stats
+	closed bool
+}
+
+// New creates the wire service and registers its endpoint handler.
+func New(ep Endpoint, prop Propagator, cfg Config) (*Service, error) {
+	s := &Service{
+		ep:     ep,
+		prop:   prop,
+		cfg:    cfg,
+		seen:   seen.New(),
+		inputs: make(map[jid.ID]*InputPipe),
+	}
+	if err := ep.RegisterHandler(ServiceName, cfg.Group, s.handle); err != nil {
+		return nil, fmt.Errorf("wire: %w", err)
+	}
+	return s, nil
+}
+
+// Close tears down the input pipes and unregisters the handler.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	inputs := make([]*InputPipe, 0, len(s.inputs))
+	for _, in := range s.inputs {
+		inputs = append(inputs, in)
+	}
+	s.mu.Unlock()
+	for _, in := range inputs {
+		in.Close()
+	}
+	s.ep.UnregisterHandler(ServiceName, s.cfg.Group)
+}
+
+// CreateInputPipe opens the receiving end of a propagated pipe on this
+// peer.
+func (s *Service) CreateInputPipe(pa *adv.PipeAdv) (*InputPipe, error) {
+	if pa.Type != adv.PipePropagate {
+		return nil, fmt.Errorf("%w: %s (want %s)", ErrWrongType, pa.Type, adv.PipePropagate)
+	}
+	in := &InputPipe{svc: s, id: pa.PipeID, name: pa.Name}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := s.inputs[pa.PipeID]; ok {
+		return nil, fmt.Errorf("%w: %v", ErrDupInput, pa.PipeID)
+	}
+	s.inputs[pa.PipeID] = in
+	return in, nil
+}
+
+// CreateOutputPipe opens a sending end. Propagated pipes need no binding
+// resolution: the rendezvous mesh is the destination.
+func (s *Service) CreateOutputPipe(pa *adv.PipeAdv) (*OutputPipe, error) {
+	if pa.Type != adv.PipePropagate {
+		return nil, fmt.Errorf("%w: %s (want %s)", ErrWrongType, pa.Type, adv.PipePropagate)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return &OutputPipe{svc: s, id: pa.PipeID, name: pa.Name}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// handle delivers propagated wire messages to the local input pipe.
+func (s *Service) handle(msg *message.Message, _ endpoint.Address) {
+	id, err := jid.Parse(msg.Text(elemNS, elemID))
+	if err != nil {
+		return
+	}
+	if !s.cfg.DisableDedupe && !s.seen.Observe(msg.ID) {
+		s.mu.Lock()
+		s.stats.Duplicates++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	in, ok := s.inputs[id]
+	if ok {
+		s.stats.Received++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	in.deliver(msg)
+}
+
+// send propagates a message on a wire pipe and loops it back locally.
+func (s *Service) send(id jid.ID, msg *message.Message) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	in := s.inputs[id]
+	s.stats.Sent++
+	s.mu.Unlock()
+
+	out := msg.Dup()
+	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemID, Data: []byte(id.String())})
+	// Mark our own message as seen so a mesh echo is not re-delivered.
+	if !s.cfg.DisableDedupe {
+		s.seen.Observe(out.ID)
+	}
+	// Local loopback first: a peer subscribing to its own wire hears
+	// itself regardless of mesh connectivity.
+	if in != nil {
+		s.mu.Lock()
+		s.stats.Received++
+		s.mu.Unlock()
+		in.deliver(out.Dup())
+	}
+	if err := s.prop.Propagate(out, ServiceName, s.cfg.Group); err != nil {
+		if errors.Is(err, rendezvous.ErrNoPeers) && in != nil {
+			return nil // delivered locally; an isolated peer is not an error
+		}
+		return fmt.Errorf("wire: propagate: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeStats counts a node's traffic. Lost messages were sent but dropped
+// by a lossy or partitioned link; they are counted at the sender.
+type NodeStats struct {
+	MsgsIn   int
+	MsgsOut  int
+	BytesIn  int
+	BytesOut int
+	MsgsLost int
+}
+
+// Node is one endpoint of the simulated network.
+type Node struct {
+	name          string
+	net           *Network
+	firewalled    bool
+	procPerMsg    time.Duration
+	procBandwidth int
+	procSwitch    time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []delivery
+	handler Handler
+	stats   NodeStats
+	closed  bool
+}
+
+type delivery struct {
+	from string
+	data []byte
+}
+
+// Name returns the node's unique name.
+func (nd *Node) Name() string { return nd.name }
+
+// Firewalled reports whether the node refuses unsolicited inbound
+// messages.
+func (nd *Node) Firewalled() bool { return nd.firewalled }
+
+// SetHandler installs the message handler. Messages arriving while no
+// handler is installed are queued and handed to the handler once set.
+func (nd *Node) SetHandler(h Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.handler = h
+	nd.cond.Broadcast()
+}
+
+// Stats returns a snapshot of the node's traffic counters.
+func (nd *Node) Stats() NodeStats {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.stats
+}
+
+// Close stops the node. Queued messages are dropped; subsequent sends to
+// or from the node fail with ErrNodeClosed.
+func (nd *Node) Close() {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.closed = true
+	dropped := len(nd.queue)
+	nd.queue = nil
+	nd.cond.Broadcast()
+	nd.mu.Unlock()
+
+	if dropped > 0 {
+		nd.net.mu.Lock()
+		for i := 0; i < dropped; i++ {
+			nd.net.finishOneLocked()
+		}
+		nd.net.mu.Unlock()
+	}
+}
+
+// Send transmits data to the named node, subject to the link's latency,
+// bandwidth, loss and partition state and to the destination's firewall
+// policy. A nil error means the message entered the network — not that it
+// will arrive (lossy links drop silently, as UDP or a mid-stream
+// disconnect would).
+func (nd *Node) Send(to string, data []byte) error {
+	n := nd.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNetClosed
+	}
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		n.mu.Unlock()
+		return ErrNodeClosed
+	}
+	nd.stats.MsgsOut++
+	nd.stats.BytesOut += len(data)
+	nd.mu.Unlock()
+
+	dst, ok := n.nodes[to]
+	if !ok || dst.isClosed() {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, to)
+	}
+	link := n.linkFor(nd.name, to)
+	if link.Down {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s -> %s", ErrLinkDown, nd.name, to)
+	}
+	// Firewall: unsolicited inbound is refused unless the destination
+	// previously opened an outbound flow to us.
+	if dst.firewalled {
+		if _, open := n.flows[pairKey{to, nd.name}]; !open {
+			n.mu.Unlock()
+			return fmt.Errorf("%w: %s -> %s", ErrFirewalled, nd.name, to)
+		}
+	}
+	// A firewalled sender punches a return hole to the destination.
+	if nd.firewalled {
+		n.flows[pairKey{nd.name, to}] = struct{}{}
+	}
+	if link.Loss > 0 && n.rng.Float64() < link.Loss {
+		nd.mu.Lock()
+		nd.stats.MsgsLost++
+		nd.mu.Unlock()
+		n.mu.Unlock()
+		return nil // silently lost in transit
+	}
+
+	now := time.Now()
+	key := pairKey{nd.name, to}
+	// Bandwidth serialises the link: a transmission starts only when the
+	// previous one on the same directed pair has finished.
+	start := now
+	if free, ok := n.linkFree[key]; ok && free.After(start) {
+		start = free
+	}
+	var transmit time.Duration
+	if link.Bandwidth > 0 {
+		transmit = time.Duration(float64(len(data)) / float64(link.Bandwidth) * float64(time.Second))
+	}
+	n.linkFree[key] = start.Add(transmit)
+	delay := link.Latency
+	if link.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(link.Jitter)))
+	}
+	at := start.Add(transmit + delay)
+	// Receiver-side processing: deliveries to a node serialise behind
+	// its per-message cost, so flooding it saturates.
+	if dst.procPerMsg > 0 || dst.procBandwidth > 0 || dst.procSwitch > 0 {
+		if free, ok := n.nodeFree[to]; ok && free.After(at) {
+			at = free
+		}
+		proc := dst.procPerMsg
+		if dst.procBandwidth > 0 {
+			proc += time.Duration(float64(len(data)) / float64(dst.procBandwidth) * float64(time.Second))
+		}
+		if dst.procSwitch > 0 && n.nodeFrom[to] != nd.name {
+			proc += dst.procSwitch
+		}
+		n.nodeFrom[to] = nd.name
+		at = at.Add(proc)
+		n.nodeFree[to] = at
+	}
+	// Per-pair FIFO: never deliver before an earlier message on the same
+	// directed pair (jitter must not reorder).
+	if last, ok := n.lastAt[key]; ok && at.Before(last) {
+		at = last
+	}
+	n.lastAt[key] = at
+	n.seq++
+	n.inflight++
+	payload := append([]byte(nil), data...)
+	n.schedule(event{at: at, seq: n.seq, dst: dst, from: nd.name, data: payload})
+	n.mu.Unlock()
+	return nil
+}
+
+func (nd *Node) isClosed() bool {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.closed
+}
+
+// enqueue appends a delivery to the node's mailbox (called by the
+// network scheduler).
+func (nd *Node) enqueue(from string, data []byte) {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		nd.net.finishOne()
+		return
+	}
+	nd.stats.MsgsIn++
+	nd.stats.BytesIn += len(data)
+	nd.queue = append(nd.queue, delivery{from: from, data: data})
+	nd.cond.Broadcast()
+	nd.mu.Unlock()
+}
+
+// dispatch drains the mailbox, invoking the handler serially so each node
+// sees FIFO per-sender ordering.
+func (nd *Node) dispatch() {
+	for {
+		nd.mu.Lock()
+		for len(nd.queue) == 0 || nd.handler == nil {
+			if nd.closed {
+				nd.mu.Unlock()
+				return
+			}
+			nd.cond.Wait()
+		}
+		d := nd.queue[0]
+		nd.queue = nd.queue[1:]
+		h := nd.handler
+		nd.mu.Unlock()
+
+		h(d.from, d.data)
+		nd.net.finishOne()
+	}
+}

@@ -1,0 +1,62 @@
+// Package srapp holds the ski-rental application of the paper's §4: the
+// event type shared by the TPS version (srtps) and the direct-JXTA
+// version (srjxta), plus the scenario helpers the examples and the
+// benchmark harness drive.
+//
+// "If you want to go skiing, you need skis" — shops publish rental
+// offers, customers subscribe and compare them while doing something
+// else. The two sub-packages implement the identical functionality so
+// the programming-experience comparison (§4.4) and the performance
+// comparison (§5) are apples to apples.
+package srapp
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SkiRental is the paper's event type (§4.3.1): the name of the renter,
+// the price, the brand of the skis and the number of days the skis are
+// rented for.
+type SkiRental struct {
+	Shop         string
+	Brand        string
+	Price        float64
+	NumberOfDays float64
+}
+
+// String renders the offer the way the paper's console callback prints
+// it.
+func (r SkiRental) String() string {
+	return fmt.Sprintf("%s rents %s skis at %.2f CHF for %.0f days", r.Shop, r.Brand, r.Price, r.NumberOfDays)
+}
+
+// Brands and shops the demo generators draw from.
+var (
+	Brands = []string{"Salomon", "Atomic", "Rossignol", "K2", "Head", "Fischer"}
+	Shops  = []string{"XTremShop", "AlpSports", "GlacierGear", "PowderPro"}
+)
+
+// RandomOffer generates a plausible rental offer from the given source.
+func RandomOffer(rng *rand.Rand) SkiRental {
+	return SkiRental{
+		Shop:         Shops[rng.Intn(len(Shops))],
+		Brand:        Brands[rng.Intn(len(Brands))],
+		Price:        float64(8+rng.Intn(40)) + 0.5*float64(rng.Intn(2)),
+		NumberOfDays: float64(1 + rng.Intn(14)),
+	}
+}
+
+// Pad returns an offer padded so its encoded size approximates the
+// paper's 1910-byte test messages: the Brand field carries the filler.
+func Pad(offer SkiRental, targetBytes int) SkiRental {
+	if targetBytes <= 0 {
+		return offer
+	}
+	filler := make([]byte, targetBytes)
+	for i := range filler {
+		filler[i] = 'x'
+	}
+	offer.Brand = offer.Brand + "|" + string(filler)
+	return offer
+}

@@ -1,0 +1,71 @@
+package srapp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomOfferPlausible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		o := RandomOffer(rng)
+		if o.Shop == "" || o.Brand == "" {
+			t.Fatalf("empty fields: %+v", o)
+		}
+		if o.Price < 8 || o.Price > 49 {
+			t.Fatalf("price out of range: %+v", o)
+		}
+		if o.NumberOfDays < 1 || o.NumberOfDays > 14 {
+			t.Fatalf("days out of range: %+v", o)
+		}
+	}
+}
+
+func TestRandomOfferDeterministicPerSeed(t *testing.T) {
+	a := RandomOffer(rand.New(rand.NewSource(7)))
+	b := RandomOffer(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatal("same seed produced different offers")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	o := SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}
+	s := o.String()
+	for _, want := range []string{"XTremShop", "Salomon", "14.00", "100 days"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q lacks %q", s, want)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	o := SkiRental{Shop: "s", Brand: "b"}
+	padded := Pad(o, 1000)
+	if len(padded.Brand) < 1000 {
+		t.Fatalf("brand length %d", len(padded.Brand))
+	}
+	if padded.Shop != "s" {
+		t.Fatal("padding touched other fields")
+	}
+	if got := Pad(o, 0); got != o {
+		t.Fatal("zero target should be a no-op")
+	}
+	if got := Pad(o, -5); got != o {
+		t.Fatal("negative target should be a no-op")
+	}
+}
+
+// Property: padding grows the brand monotonically with the target and
+// preserves the original prefix.
+func TestQuickPadPreservesBrand(t *testing.T) {
+	f := func(brand string, target uint16) bool {
+		o := Pad(SkiRental{Brand: brand}, int(target))
+		return strings.HasPrefix(o.Brand, brand)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package stats provides the small statistics and rendering toolkit the
+// benchmark harness uses to regenerate the paper's figures: summary
+// statistics, per-index series, CSV output and ASCII charts.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation, or 0 for fewer than two
+// points.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)-1))
+}
+
+// RelStdDev returns the standard deviation as a fraction of the mean
+// (the paper quotes "~20%" deviations), or 0 when the mean is 0.
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank
+// on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Median returns the 50th percentile: the robust location estimate the
+// ratio comparisons use (micro-benchmark means get skewed by GC and
+// scheduler spikes).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Min returns the smallest value, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Series is one named line of a figure: Points[i] is the value at
+// x-index i (event number, epoch, second...).
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Summary renders "name: mean=… σ=… (rel …%) min=… max=…".
+func (s Series) Summary() string {
+	return fmt.Sprintf("%-22s mean=%8.2f  σ=%7.2f (%4.1f%%)  min=%8.2f  max=%8.2f",
+		s.Name, Mean(s.Points), StdDev(s.Points), 100*RelStdDev(s.Points), Min(s.Points), Max(s.Points))
+}
+
+// WriteCSV emits "x,<name1>,<name2>,..." rows; series of different
+// lengths are padded with empty cells.
+func WriteCSV(w io.Writer, xHeader string, series []Series) error {
+	headers := make([]string, 0, len(series)+1)
+	headers = append(headers, xHeader)
+	maxLen := 0
+	for _, s := range series {
+		headers = append(headers, s.Name)
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, 0, len(series)+1)
+		row = append(row, fmt.Sprint(i+1))
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.4f", s.Points[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders the series as an ASCII line chart, the terminal stand-in
+// for the paper's figures.
+func Chart(title, xLabel, yLabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var lo, hi float64
+	maxLen := 0
+	first := true
+	for _, s := range series {
+		for _, v := range s.Points {
+			if first || v < lo {
+				lo = v
+			}
+			if first || v > hi {
+				hi = v
+			}
+			first = false
+		}
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+	}
+	if first || maxLen == 0 {
+		return title + ": (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Points {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s\n", yLabel)
+	for r, rowBytes := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9.2f |%s\n", yVal, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s %s\n", "", xLabel)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Summary())
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty slices should yield 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Fatalf("mean = %f", Mean(xs))
+	}
+	if got := StdDev(xs); math.Abs(got-2.138089935) > 1e-6 {
+		t.Fatalf("stddev = %f", got)
+	}
+	if StdDev([]float64{42}) != 0 {
+		t.Fatal("single sample stddev should be 0")
+	}
+	if got := RelStdDev(xs); math.Abs(got-2.138089935/5) > 1e-6 {
+		t.Fatalf("rel stddev = %f", got)
+	}
+	if RelStdDev([]float64{0, 0}) != 0 {
+		t.Fatal("zero-mean rel stddev should be 0")
+	}
+}
+
+func TestMinMaxPercentile(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatalf("min/max = %f/%f", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty slices should yield 0")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 9 {
+		t.Fatal("extreme percentiles wrong")
+	}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Fatalf("p50 = %f", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		lo, hi := float64(pa%101), float64(pb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		a, b := Percentile(raw, lo), Percentile(raw, hi)
+		return a <= b && a >= Min(raw) && b <= Max(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, "event", []Series{
+		{Name: "a", Points: []float64{1, 2, 3}},
+		{Name: "b", Points: []float64{4, 5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "event,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[3] != "3,3.0000," {
+		t.Fatalf("padded row = %q", lines[3])
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	out := Chart("Fig X", "event number", "ms/msg", []Series{
+		{Name: "JXTA-WIRE 1 sub", Points: []float64{1, 2, 3, 4, 5}},
+		{Name: "SR-TPS 1 sub", Points: []float64{2, 3, 4, 5, 6}},
+	}, 40, 10)
+	for _, want := range []string{"Fig X", "ms/msg", "event number", "JXTA-WIRE 1 sub", "SR-TPS 1 sub", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart lacks %q:\n%s", want, out)
+		}
+	}
+	if got := Chart("empty", "x", "y", nil, 40, 10); !strings.Contains(got, "no data") {
+		t.Fatalf("empty chart = %q", got)
+	}
+	// Flat series must not divide by zero.
+	flat := Chart("flat", "x", "y", []Series{{Name: "f", Points: []float64{3, 3, 3}}}, 40, 8)
+	if !strings.Contains(flat, "f") {
+		t.Fatal("flat series render failed")
+	}
+}
+
+func TestSeriesSummary(t *testing.T) {
+	s := Series{Name: "test", Points: []float64{1, 2, 3}}
+	sum := s.Summary()
+	for _, want := range []string{"test", "mean=", "min=", "max="} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary lacks %q: %s", want, sum)
+		}
+	}
+}

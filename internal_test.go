@@ -1,0 +1,113 @@
+package tps
+
+import (
+	"errors"
+	"testing"
+)
+
+// White-box tests for the public package's unexported helpers.
+
+type cbStruct struct{ hits int }
+
+func (c *cbStruct) Handle(int) error { return nil }
+
+func TestSameHandlerPointers(t *testing.T) {
+	a, b := &cbStruct{}, &cbStruct{}
+	if !sameHandler(a, a) {
+		t.Fatal("same pointer not equal")
+	}
+	if sameHandler(a, b) {
+		t.Fatal("distinct pointers equal")
+	}
+}
+
+func TestSameHandlerFuncs(t *testing.T) {
+	f := CallBackFunc[int](func(int) error { return nil })
+	g := CallBackFunc[int](func(int) error { return nil })
+	if !sameHandler(f, f) {
+		t.Fatal("same func value not equal")
+	}
+	if sameHandler(f, g) {
+		t.Fatal("distinct funcs equal")
+	}
+}
+
+func TestSameHandlerNils(t *testing.T) {
+	if !sameHandler(nil, nil) {
+		t.Fatal("nil != nil")
+	}
+	if sameHandler(nil, &cbStruct{}) || sameHandler(&cbStruct{}, nil) {
+		t.Fatal("nil equal to non-nil")
+	}
+}
+
+func TestSameHandlerComparableValues(t *testing.T) {
+	type tok struct{ id int }
+	if !sameHandler(tok{1}, tok{1}) {
+		t.Fatal("equal comparable values not equal")
+	}
+	if sameHandler(tok{1}, tok{2}) {
+		t.Fatal("different values equal")
+	}
+	if sameHandler(tok{1}, "not a tok") {
+		t.Fatal("different kinds equal")
+	}
+}
+
+func TestSameHandlerIncomparable(t *testing.T) {
+	// Structs holding slices are not comparable; must not panic.
+	type bad struct{ xs []int }
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("panicked: %v", r)
+		}
+	}()
+	if sameHandler(bad{xs: []int{1}}, bad{xs: []int{1}}) {
+		t.Fatal("incomparable values reported equal")
+	}
+}
+
+func TestPSErrorUnwrap(t *testing.T) {
+	cause := errors.New("root cause")
+	err := psErr("publish", cause)
+	if !errors.Is(err, cause) {
+		t.Fatal("Unwrap chain broken")
+	}
+	var pse *PSError
+	if !errors.As(err, &pse) || pse.Op != "publish" {
+		t.Fatalf("As failed: %v", err)
+	}
+	if pse.Error() == "" {
+		t.Fatal("empty message")
+	}
+	if psErr("x", nil) != nil {
+		t.Fatal("nil cause should yield nil")
+	}
+}
+
+func TestAdapterFuncs(t *testing.T) {
+	called := 0
+	cb := CallBackFunc[string](func(s string) error {
+		called++
+		if s != "ev" {
+			t.Fatalf("got %q", s)
+		}
+		return nil
+	})
+	if err := cb.Handle("ev"); err != nil || called != 1 {
+		t.Fatalf("callback adapter: %v, %d", err, called)
+	}
+	var caught error
+	exh := ExceptionHandlerFunc(func(err error) { caught = err })
+	boom := errors.New("boom")
+	exh.HandleException(boom)
+	if caught != boom {
+		t.Fatal("exception adapter dropped the error")
+	}
+}
+
+func TestDefaultStr(t *testing.T) {
+	if defaultStr("", "d") != "d" || defaultStr("x", "d") != "x" {
+		t.Fatal("defaultStr wrong")
+	}
+}

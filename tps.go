@@ -1,0 +1,260 @@
+// Package tps is a Go implementation of Type-based Publish/Subscribe
+// (TPS) over a JXTA-style peer-to-peer substrate, reproducing
+// S. Baehni, P. Th. Eugster and R. Guerraoui, "OS Support for P2P
+// Programming: a Case for TPS" (ICDCS 2002).
+//
+// TPS is to P2P programming what RPC was to client/server programming:
+// a high-level abstraction that hides the substrate (advertisements,
+// discovery, peer groups, propagated pipes) while preserving type
+// safety and encapsulation — without giving up the time, space and flow
+// decoupling that publish/subscribe provides. The subject of a
+// subscription is an event type: subscribing to a type delivers every
+// published instance of that type and of its subtypes (Go interfaces
+// play the role of Java supertypes), and the event's own methods can be
+// used for content-based filtering.
+//
+// # Programming model (the paper's four phases, §4.2)
+//
+// Type definition — declare the event type and register it:
+//
+//	type SkiRental struct {
+//		Shop         string
+//		Brand        string
+//		Price        float64
+//		NumberOfDays float64
+//	}
+//	tps.Register[SkiRental](platform)
+//
+// Initialization — create the engine and its interface:
+//
+//	engine, _ := tps.NewEngine[SkiRental](platform)
+//	intf, _ := engine.NewInterface()
+//
+// Subscription:
+//
+//	intf.Subscribe(tps.CallBackFunc[SkiRental](func(r SkiRental) error {
+//		fmt.Println("skis that could be rented:", r)
+//		return nil
+//	}), nil)
+//
+// Publication:
+//
+//	intf.Publish(SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100})
+//
+// One engine serves one type hierarchy; create an engine per unrelated
+// type of interest, exactly as the paper prescribes.
+package tps
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/core/codec"
+	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/peer"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
+)
+
+// Transport is a pluggable network transport. The TCP transport is
+// configured via Config.ListenTCP; simulations and tests inject others
+// (e.g. the in-memory WAN) through WithTransport.
+type Transport = endpoint.Transport
+
+// PSError wraps every error the TPS API returns — the analogue of the
+// paper's PSException.
+type PSError struct {
+	// Op is the API operation that failed ("publish", "subscribe", ...).
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *PSError) Error() string { return "tps: " + e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PSError) Unwrap() error { return e.Err }
+
+func psErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &PSError{Op: op, Err: err}
+}
+
+// Config configures a Platform.
+type Config struct {
+	// Name is the peer's human-readable name.
+	Name string
+	// ListenTCP, when non-empty (e.g. "0.0.0.0:9701"), starts the TCP
+	// transport on that address.
+	ListenTCP string
+	// Seeds are rendezvous addresses ("tcp://host:port", "mem://node").
+	Seeds []string
+	// Rendezvous makes this peer a rendezvous/relay daemon serving every
+	// event group, in addition to its normal duties.
+	Rendezvous bool
+	// Firewalled declares that this peer cannot accept unsolicited
+	// inbound connections; it will rely on relays.
+	Firewalled bool
+	// Codec selects the event serialisation: "gob" (default) or "json".
+	Codec string
+	// FindTimeout bounds the initial advertisement search before a type
+	// advertisement is created (default 2s).
+	FindTimeout time.Duration
+	// FindInterval is the background advertisement finder period
+	// (default 1s).
+	FindInterval time.Duration
+	// LeaseTTL overrides the rendezvous lease duration.
+	LeaseTTL time.Duration
+}
+
+// Option customises NewPlatform.
+type Option func(*platformOptions)
+
+type platformOptions struct {
+	transports []Transport
+}
+
+// WithTransport attaches an additional transport (simulated WANs, test
+// fabrics).
+func WithTransport(t Transport) Option {
+	return func(o *platformOptions) { o.transports = append(o.transports, t) }
+}
+
+// Platform is the per-process TPS runtime: one JXTA peer, one type
+// registry, shared by all engines the process creates.
+type Platform struct {
+	peer   *peer.Peer
+	reg    *typereg.Registry
+	codec  codec.Codec
+	ftime  time.Duration
+	fint   time.Duration
+	daemon *peer.Daemon
+}
+
+// NewPlatform boots the peer-to-peer substrate: transports, net peer
+// group, and (for rendezvous peers) the daemon stack.
+func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
+	var po platformOptions
+	for _, opt := range opts {
+		opt(&po)
+	}
+	transports := po.transports
+	if cfg.ListenTCP != "" {
+		t, err := tcpnet.Listen(cfg.ListenTCP)
+		if err != nil {
+			return nil, psErr("platform", err)
+		}
+		transports = append(transports, t)
+	}
+	if len(transports) == 0 {
+		return nil, psErr("platform", errors.New("no transports: set ListenTCP or use WithTransport"))
+	}
+	c, err := codec.ByName(defaultStr(cfg.Codec, "gob"))
+	if err != nil {
+		return nil, psErr("platform", err)
+	}
+	role := rendezvous.RoleEdge
+	if cfg.Rendezvous {
+		role = rendezvous.RoleRendezvous
+	}
+	seeds := make([]endpoint.Address, 0, len(cfg.Seeds))
+	for _, s := range cfg.Seeds {
+		seeds = append(seeds, endpoint.Address(s))
+	}
+	p, err := peer.New(peer.Config{
+		Name:       cfg.Name,
+		Role:       role,
+		Seeds:      seeds,
+		LeaseTTL:   cfg.LeaseTTL,
+		Firewalled: cfg.Firewalled,
+	}, transports...)
+	if err != nil {
+		return nil, psErr("platform", err)
+	}
+	pl := &Platform{
+		peer:  p,
+		reg:   typereg.New(),
+		codec: c,
+		ftime: cfg.FindTimeout,
+		fint:  cfg.FindInterval,
+	}
+	if cfg.Rendezvous {
+		d, err := p.EnableDaemon()
+		if err != nil {
+			p.Close()
+			return nil, psErr("platform", err)
+		}
+		pl.daemon = d
+	}
+	return pl, nil
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// PeerID returns the peer's identity in URN form.
+func (p *Platform) PeerID() string { return p.peer.ID().String() }
+
+// Addresses returns the peer's reachable addresses, best first.
+func (p *Platform) Addresses() []string {
+	addrs := p.peer.Addresses()
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// AwaitRendezvous blocks until the peer holds a rendezvous lease, or the
+// timeout elapses. Peers configured without seeds report false.
+func (p *Platform) AwaitRendezvous(timeout time.Duration) bool {
+	net := p.peer.NetGroup()
+	return net != nil && net.AwaitRendezvous(timeout)
+}
+
+// Close shuts the platform down: all engines' groups, the daemon stack
+// if any, and the transports.
+func (p *Platform) Close() {
+	if p.daemon != nil {
+		p.daemon.Close()
+		p.daemon = nil
+	}
+	p.peer.Close()
+}
+
+// Register adds T to the platform's type registry as a hierarchy root.
+// Registration is the paper's "type definition phase": peers must agree
+// on the type model a priori (§3.2).
+func Register[T any](p *Platform) error {
+	_, err := p.reg.Register(typeOf[T](), nil)
+	return psErr("register", err)
+}
+
+// RegisterSub adds T as a subtype of Parent: subscriptions to Parent
+// also deliver T instances (Figure 7). Parent must be registered first.
+// For the delivered values to be visible through a Parent-typed
+// interface, Parent should be a Go interface type that T implements;
+// struct parents still organise the subject hierarchy for discovery.
+func RegisterSub[T, Parent any](p *Platform) error {
+	parent, ok := p.reg.NodeByType(typeOf[Parent]())
+	if !ok {
+		return psErr("register", fmt.Errorf("%w: parent %v", typereg.ErrNotRegistered, typeOf[Parent]()))
+	}
+	_, err := p.reg.Register(typeOf[T](), parent)
+	return psErr("register", err)
+}
+
+// typeOf yields the reflect.Type of T, working for interface types too.
+func typeOf[T any]() reflect.Type {
+	return reflect.TypeOf((*T)(nil)).Elem()
+}
