@@ -11,7 +11,10 @@ import (
 	"testing"
 	"time"
 
+	tps "github.com/tps-p2p/tps"
 	"github.com/tps-p2p/tps/internal/benchkit"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/core/typereg"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
@@ -206,6 +209,98 @@ func BenchmarkAblationSubtypeDispatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLocalPublishDeliver measures the full local publish→deliver
+// round trip — encode, wire send, loopback, dedupe, decode, dispatch —
+// on one isolated platform. allocs/op here is the hot-path allocation
+// budget the zero-allocation work targets; TestHotPathAllocBudget gates
+// the codec portion so regressions fail tests, not just benchmarks.
+func BenchmarkLocalPublishDeliver(b *testing.B) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	node, err := net.AddNode("solo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tps.NewPlatform(tps.Config{Name: "solo"}, tps.WithTransport(memnet.New(node)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	if err := tps.Register[srapp.SkiRental](p); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := tps.NewEngine[srapp.SkiRental](p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	iface, err := eng.NewInterface(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := make(chan struct{}, 1)
+	err = iface.Subscribe(tps.CallBackFunc[srapp.SkiRental](func(srapp.SkiRental) error {
+		delivered <- struct{}{}
+		return nil
+	}), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offer := srapp.Pad(srapp.SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}, 1710)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := iface.Publish(offer); err != nil {
+			b.Fatal(err)
+		}
+		<-delivered
+	}
+}
+
+// TestHotPathAllocBudget is the regression gate behind the codec
+// benchmarks: the paper-sized frame must stay within a fixed allocation
+// budget per marshal/unmarshal. The seed decoded every wire ID through a
+// hex string + jid.Parse round trip (19 allocs/op to unmarshal); the
+// binary ID path brought that under 8, and this test keeps it there.
+func TestHotPathAllocBudget(t *testing.T) {
+	m := message.New(jid.FromSeed(jid.KindPeer, 1))
+	m.Path = append(m.Path, jid.FromSeed(jid.KindPeer, 2))
+	payload := make([]byte, 1910)
+	m.AddBytes("bench", "payload", payload)
+	frame, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	marshalAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.Marshal(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if marshalAllocs > 1 {
+		t.Errorf("Marshal allocates %.1f/op, budget is 1 (the frame itself)", marshalAllocs)
+	}
+
+	buf := make([]byte, 0, m.WireSize())
+	appendAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := m.MarshalAppend(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if appendAllocs > 0 {
+		t.Errorf("MarshalAppend into a sized buffer allocates %.1f/op, budget is 0", appendAllocs)
+	}
+
+	unmarshalAllocs := testing.AllocsPerRun(200, func() {
+		if _, err := message.Unmarshal(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if unmarshalAllocs > 8 {
+		t.Errorf("Unmarshal allocates %.1f/op, budget is 8 (seed was 19)", unmarshalAllocs)
 	}
 }
 

@@ -1,0 +1,3 @@
+module github.com/tps-p2p/tps
+
+go 1.24.0

@@ -168,6 +168,16 @@ func (i *Interface[T]) Subscribe(cb CallBack[T], exh ExceptionHandler) error {
 		return psErr("subscribe", err)
 	}
 	i.mu.Lock()
+	if len(i.entries) == 0 || i.coreSub != nil {
+		// A concurrent Unsubscribe removed the last pair while the core
+		// subscription was being set up (the interface must go quiet), or
+		// a concurrent Subscribe already installed one. Either way this
+		// subscription must not be kept, or it would deliver forever with
+		// nobody listening.
+		i.mu.Unlock()
+		i.eng.core.Unsubscribe(sub)
+		return nil
+	}
 	i.coreSub = sub
 	i.mu.Unlock()
 	return nil
@@ -188,13 +198,20 @@ func (i *Interface[T]) SubscribeMany(cbs []CallBack[T], exhs []ExceptionHandler)
 }
 
 // Unsubscribe removes one previously registered (callback, handler)
-// pair; only that callback stops receiving — method (4).
+// pair; only that callback stops receiving — method (4). Removing the
+// last pair tears down the core subscription, exactly like
+// UnsubscribeAll: otherwise the engine would keep decoding and buffering
+// events for an interface nobody listens on.
 func (i *Interface[T]) Unsubscribe(cb CallBack[T], exh ExceptionHandler) error {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	for k, e := range i.entries {
 		if sameHandler(e.cb, cb) && sameHandler(e.exh, exh) {
 			i.entries = append(i.entries[:k], i.entries[k+1:]...)
+			if len(i.entries) == 0 && i.coreSub != nil {
+				i.eng.core.Unsubscribe(i.coreSub)
+				i.coreSub = nil
+			}
 			return nil
 		}
 	}

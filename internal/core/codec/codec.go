@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 )
 
 // Errors.
@@ -42,6 +43,19 @@ type Gob struct{}
 // Name implements Codec.
 func (Gob) Name() string { return "gob" }
 
+// gobBufPool recycles the scratch buffers gob streams are rendered into,
+// so steady-state publishing reuses one grown buffer instead of growing
+// a fresh bytes.Buffer through several doublings per event.
+//
+// The gob.Encoder itself is deliberately NOT pooled: an encoder transmits
+// each type's descriptor only once per stream, and every TPS event must
+// decode standalone on whichever peer it lands on (there is no shared
+// stream state between peers). A reused encoder would emit frames whose
+// type descriptors live in some earlier frame, which a fresh decoder
+// cannot resolve — so correctness forces a fresh encoder per event, and
+// TestGobBlobsAreSelfContained locks that property in.
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Encode implements Codec. The value is encoded through an interface
 // envelope so Decode can recover the concrete type without knowing it in
 // advance.
@@ -49,11 +63,15 @@ func (Gob) Encode(event any) ([]byte, error) {
 	if event == nil {
 		return nil, ErrNilEvent
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&event); err != nil {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	defer gobBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&event); err != nil {
 		return nil, fmt.Errorf("codec: gob encode %T: %w", event, err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // Decode implements Codec. typ is advisory for gob (the stream is

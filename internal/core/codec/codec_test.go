@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -172,5 +173,80 @@ func TestQuickRoundTripBothCodecs(t *testing.T) {
 		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 			t.Errorf("%s: %v", c.Name(), err)
 		}
+	}
+}
+
+type bikeRental struct {
+	Shop  string
+	Price float64
+}
+
+func init() {
+	gob.Register(bikeRental{})
+}
+
+// TestGobBlobsAreSelfContained locks in the property that makes buffer
+// pooling (and NOT encoder pooling) correct: every Encode output must
+// decode standalone with a fresh decoder, because events land on
+// arbitrary peers with no shared gob stream state. Interleaving types
+// and decoding out of order would catch any reuse of encoder
+// type-descriptor state across events.
+func TestGobBlobsAreSelfContained(t *testing.T) {
+	c := Gob{}
+	events := []any{
+		skiRental{Shop: "a", Brand: "x", Price: 1, NumberOfDays: 2},
+		bikeRental{Shop: "b", Price: 3},
+		skiRental{Shop: "c", Brand: "y", Price: 4, NumberOfDays: 5},
+		bikeRental{Shop: "d", Price: 6},
+		skiRental{Shop: "e"},
+	}
+	blobs := make([][]byte, len(events))
+	var wg sync.WaitGroup
+	// Encode concurrently so the pool actually cycles buffers between
+	// goroutines, then decode in reverse order so no decoder can lean on
+	// stream state from an earlier blob.
+	for i, ev := range events {
+		wg.Add(1)
+		go func(i int, ev any) {
+			defer wg.Done()
+			data, err := c.Encode(ev)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blobs[i] = data
+		}(i, ev)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := len(blobs) - 1; i >= 0; i-- {
+		out, err := c.Decode(blobs[i], reflect.TypeOf(events[i]))
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(out, events[i]) {
+			t.Fatalf("blob %d: got %+v want %+v", i, out, events[i])
+		}
+	}
+}
+
+// TestGobEncodeResultDoesNotAliasPool guards the copy-out: a returned
+// blob must stay intact while later Encodes reuse the pooled buffer.
+func TestGobEncodeResultDoesNotAliasPool(t *testing.T) {
+	c := Gob{}
+	first, err := c.Encode(skiRental{Shop: "keep", Brand: "me"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), first...)
+	for i := 0; i < 64; i++ {
+		if _, err := c.Encode(bikeRental{Shop: "overwrite", Price: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(first, snapshot) {
+		t.Fatal("earlier Encode result was clobbered by pooled buffer reuse")
 	}
 }

@@ -94,13 +94,22 @@ func (e *Engine) attach(pg *adv.PeerGroupAdv) error {
 	return nil
 }
 
-// publish sends one encoded event on this attachment's output pipe.
-func (a *attachment) publish(e *Engine, eventID jid.ID, path string, payload []byte) error {
+// newEventMessage assembles the four-element TPS event envelope. The
+// event ID crosses the wire in binary form (message.AddID), not as a
+// parsed-back URN string.
+func newEventMessage(e *Engine, eventID jid.ID, path string, payload []byte) *message.Message {
 	msg := message.New(e.peer.ID())
-	msg.AddString(elemNS, elemEventID, eventID.String())
+	msg.AddID(elemNS, elemEventID, eventID)
 	msg.AddString(elemNS, elemPath, path)
 	msg.AddString(elemNS, elemCodec, e.codec.Name())
 	msg.AddBytes(elemNS, elemData, payload)
+	return msg
+}
+
+// publish sends one pre-built event message on this attachment's output
+// pipe. The message may be shared across attachments; the wire service
+// Dups it before mutating.
+func (a *attachment) publish(msg *message.Message) error {
 	return a.out.Send(msg)
 }
 
@@ -127,20 +136,16 @@ func (a *attachment) close(p *peer.Peer) {
 // onWireMessage is the pipe reader: it deduplicates, decodes and
 // dispatches one incoming event.
 func (e *Engine) onWireMessage(msg *message.Message) {
-	eventID, err := jid.Parse(msg.Text(elemNS, elemEventID))
+	eventID, err := msg.GetID(elemNS, elemEventID)
 	if err != nil {
-		e.mu.Lock()
-		e.stats.DecodeErrors++
-		e.mu.Unlock()
+		e.stats.decodeErrors.Add(1)
 		return
 	}
 	// The same event arrives once per attached group carrying the type;
 	// deliver it exactly once (the duplicate handling the paper's
 	// SR-JXTA application reimplements by hand).
 	if !e.dedupe.Observe(eventID) {
-		e.mu.Lock()
-		e.stats.DuplicateEvents++
-		e.mu.Unlock()
+		e.stats.duplicateEvents.Add(1)
 		return
 	}
 	path := msg.Text(elemNS, elemPath)
@@ -148,9 +153,7 @@ func (e *Engine) onWireMessage(msg *message.Message) {
 	if !ok {
 		// A type outside our registered model: the common-type-model
 		// assumption (§6) means we cannot decode it.
-		e.mu.Lock()
-		e.stats.DecodeErrors++
-		e.mu.Unlock()
+		e.stats.decodeErrors.Add(1)
 		return
 	}
 	c := e.codec
@@ -161,14 +164,10 @@ func (e *Engine) onWireMessage(msg *message.Message) {
 	}
 	value, err := c.Decode(msg.Bytes(elemNS, elemData), node.Type())
 	if err != nil {
-		e.mu.Lock()
-		e.stats.DecodeErrors++
-		e.mu.Unlock()
+		e.stats.decodeErrors.Add(1)
 		e.subs.dispatchError(fmt.Errorf("tps: decode %s: %w", path, err))
 		return
 	}
-	e.mu.Lock()
-	e.stats.Delivered++
-	e.mu.Unlock()
+	e.stats.delivered.Add(1)
 	e.subs.dispatch(e.reg, node, value, msg.Src)
 }

@@ -71,8 +71,6 @@ func (e *Engine) createAndAttach(node *typereg.Node) error {
 			return fmt.Errorf("tps: publish type advertisement: %w", lerr)
 		}
 	}
-	e.mu.Lock()
-	e.stats.AdvsCreated++
-	e.mu.Unlock()
+	e.stats.advsCreated.Add(1)
 	return e.attach(groupAdv)
 }

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tps-p2p/tps/internal/core/codec"
@@ -83,8 +84,11 @@ type Engine struct {
 	creatingPath map[string]bool                   // type paths whose own adv is being created
 	subs         *subscriptionSet
 	dedupe       *seen.Cache
-	stats        Stats
 	closed       bool
+
+	// Per-message counters are atomics so the publish and deliver paths
+	// never touch e.mu just to count.
+	stats engineCounters
 
 	wg     sync.WaitGroup
 	stop   chan struct{}
@@ -101,6 +105,16 @@ type Stats struct {
 	AttachmentsLive int
 	AdvsCreated     int64
 	AdvsFound       int64
+}
+
+// engineCounters is the lock-free internal form of Stats.
+type engineCounters struct {
+	published       atomic.Int64
+	delivered       atomic.Int64
+	duplicateEvents atomic.Int64
+	decodeErrors    atomic.Int64
+	advsCreated     atomic.Int64
+	advsFound       atomic.Int64
 }
 
 // New creates and starts an engine: the advertisement finder begins
@@ -155,9 +169,16 @@ func (e *Engine) Peer() *peer.Peer { return e.peer }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
+	st := Stats{
+		Published:       e.stats.published.Load(),
+		Delivered:       e.stats.delivered.Load(),
+		DuplicateEvents: e.stats.duplicateEvents.Load(),
+		DecodeErrors:    e.stats.decodeErrors.Load(),
+		AdvsCreated:     e.stats.advsCreated.Load(),
+		AdvsFound:       e.stats.advsFound.Load(),
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := e.stats
 	for _, m := range e.attachments {
 		st.AttachmentsLive += len(m)
 	}
@@ -208,7 +229,6 @@ func (e *Engine) Publish(event any) error {
 	if err != nil {
 		return err
 	}
-	eventID := jid.NewMessage()
 
 	e.mu.Lock()
 	if e.closed {
@@ -219,13 +239,18 @@ func (e *Engine) Publish(event any) error {
 	for _, a := range e.attachments[node.Path()] {
 		atts = append(atts, a)
 	}
-	e.stats.Published++
 	e.mu.Unlock()
+	e.stats.published.Add(1)
+
+	// Build the four-element TPS message once and share it across the
+	// fan-out: the wire service Dups before mutating, so each attachment
+	// sees its own envelope without the engine rebuilding the elements.
+	msg := newEventMessage(e, jid.NewMessage(), node.Path(), payload)
 
 	var firstErr error
 	sent := 0
 	for _, a := range atts {
-		if err := a.publish(e, eventID, node.Path(), payload); err != nil {
+		if err := a.publish(msg); err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -109,9 +109,7 @@ func (e *Engine) considerAdvertisement(a adv.Advertisement) {
 	if !interested || already || inProgress {
 		return
 	}
-	e.mu.Lock()
-	e.stats.AdvsFound++
-	e.mu.Unlock()
+	e.stats.advsFound.Add(1)
 	if err := e.attach(pg); err != nil {
 		e.mu.Lock()
 		delete(e.creating, pg.GroupID)

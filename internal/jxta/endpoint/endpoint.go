@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tps-p2p/tps/internal/jxta/jid"
@@ -57,7 +58,8 @@ type Transport interface {
 	LocalAddress() Address
 	// Send delivers one frame to the given address. It may fail fast
 	// (unreachable) or succeed without delivery guarantee, like a
-	// datagram over an established connection.
+	// datagram over an established connection. Implementations must not
+	// retain frame after returning: the endpoint recycles frame buffers.
 	Send(to Address, frame []byte) error
 	// SetReceiver installs the inbound frame callback. Must be called
 	// exactly once, before the first frame can arrive.
@@ -117,17 +119,43 @@ type Stats struct {
 // Uptime returns how long the endpoint has been running.
 func (s Stats) Uptime(now time.Time) time.Duration { return now.Sub(s.Started) }
 
+// epCounters is the lock-free internal form of Stats: every frame in and
+// out bumps these, so they must never contend on s.mu. Timestamps are
+// kept as unix nanoseconds.
+type epCounters struct {
+	msgsIn        atomic.Int64
+	msgsOut       atomic.Int64
+	bytesIn       atomic.Int64
+	bytesOut      atomic.Int64
+	lastIncoming  atomic.Int64
+	lastOutgoing  atomic.Int64
+	noHandlerDrop atomic.Int64
+	decodeErrors  atomic.Int64
+}
+
+func (c *epCounters) countOut(bytes int) {
+	c.msgsOut.Add(1)
+	c.bytesOut.Add(int64(bytes))
+	c.lastOutgoing.Store(time.Now().UnixNano())
+}
+
 type handlerKey struct{ svc, param string }
+
+// frameBufPool recycles marshal buffers across Send calls. Transports
+// must not retain frames (see Transport.Send), so a buffer can go back
+// in the pool as soon as the transport returns.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Service is the endpoint service of one peer.
 type Service struct {
-	peerID jid.ID
+	peerID  jid.ID
+	started time.Time
+	stats   epCounters
 
 	mu         sync.RWMutex
 	transports map[string]Transport
 	order      []string // scheme registration order: preferred first
 	handlers   map[handlerKey]Handler
-	stats      Stats
 	closed     bool
 }
 
@@ -137,9 +165,9 @@ var _ Sender = (*Service)(nil)
 func New(peerID jid.ID) *Service {
 	return &Service{
 		peerID:     peerID,
+		started:    time.Now(),
 		transports: make(map[string]Transport),
 		handlers:   make(map[handlerKey]Handler),
-		stats:      Stats{Started: time.Now()},
 	}
 }
 
@@ -200,39 +228,81 @@ func (s *Service) UnregisterHandler(svc, param string) {
 
 // Send implements Sender: it envelopes msg with the destination service
 // coordinates and this peer's return address, then hands the frame to the
-// transport matching the destination scheme.
+// transport matching the destination scheme. The marshal buffer comes
+// from a pool; transports must not retain it.
 func (s *Service) Send(to Address, svc, param string, msg *message.Message) error {
+	bufp, err := s.encodeFrame(svc, param, msg)
+	if err != nil {
+		return err
+	}
+	err = s.SendFrame(to, *bufp)
+	frameBufPool.Put(bufp)
+	return err
+}
+
+// EncodeFrame envelopes msg for the (svc, param) handler and marshals it
+// into a single wire frame, without sending it. Fan-out paths use it to
+// marshal once and SendFrame the same bytes to many addresses. The
+// returned buffer may come from an internal pool; callers that are done
+// with it may return it via RecycleFrame (optional — a dropped frame is
+// simply collected).
+func (s *Service) EncodeFrame(svc, param string, msg *message.Message) ([]byte, error) {
+	bufp, err := s.encodeFrame(svc, param, msg)
+	if err != nil {
+		return nil, err
+	}
+	return *bufp, nil
+}
+
+// encodeFrame is EncodeFrame keeping the pool's box: Send returns it via
+// the box, avoiding a per-call re-boxing allocation on the hot path.
+func (s *Service) encodeFrame(svc, param string, msg *message.Message) (*[]byte, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	var srcAddr Address
+	if len(s.order) > 0 {
+		srcAddr = s.transports[s.order[0]].LocalAddress()
+	}
+	s.mu.RUnlock()
+
+	out := msg.Dup() // envelope mutations must not leak into the caller's message
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstSvc, Data: []byte(svc)})
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstParam, Data: []byte(param)})
+	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemSrcAddr, Data: []byte(srcAddr)})
+	bufp := frameBufPool.Get().(*[]byte)
+	frame, err := out.MarshalAppend((*bufp)[:0])
+	if err != nil {
+		frameBufPool.Put(bufp)
+		return nil, fmt.Errorf("endpoint: marshal: %w", err)
+	}
+	*bufp = frame
+	return bufp, nil
+}
+
+// RecycleFrame returns a frame obtained from EncodeFrame to the buffer
+// pool. The caller must not touch the frame afterwards.
+func RecycleFrame(frame []byte) { frameBufPool.Put(&frame) }
+
+// SendFrame hands a pre-encoded frame to the transport serving the
+// destination's scheme.
+func (s *Service) SendFrame(to Address, frame []byte) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
 	t, ok := s.transports[to.Scheme()]
-	var srcAddr Address
-	if len(s.order) > 0 {
-		srcAddr = s.transports[s.order[0]].LocalAddress()
-	}
 	s.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q (to %s)", ErrNoTransport, to.Scheme(), to)
 	}
-
-	out := msg.Dup() // envelope mutations must not leak into the caller's message
-	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstSvc, Data: []byte(svc)})
-	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstParam, Data: []byte(param)})
-	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemSrcAddr, Data: []byte(srcAddr)})
-	frame, err := out.Marshal()
-	if err != nil {
-		return fmt.Errorf("endpoint: marshal: %w", err)
-	}
 	if err := t.Send(to, frame); err != nil {
 		return fmt.Errorf("endpoint: send to %s: %w", to, err)
 	}
-	s.mu.Lock()
-	s.stats.MsgsOut++
-	s.stats.BytesOut += int64(len(frame))
-	s.stats.LastOutgoing = time.Now()
-	s.mu.Unlock()
+	s.stats.countOut(len(frame))
 	return nil
 }
 
@@ -240,29 +310,28 @@ func (s *Service) Send(to Address, svc, param string, msg *message.Message) erro
 func (s *Service) receive(frame []byte) {
 	msg, err := message.Unmarshal(frame)
 	if err != nil {
-		s.mu.Lock()
-		s.stats.DecodeErrors++
-		s.mu.Unlock()
+		s.stats.decodeErrors.Add(1)
 		return
 	}
 	svc := msg.Text(ElemNamespace, elemDstSvc)
 	param := msg.Text(ElemNamespace, elemDstParam)
 	from := Address(msg.Text(ElemNamespace, elemSrcAddr))
 
-	s.mu.Lock()
-	s.stats.MsgsIn++
-	s.stats.BytesIn += int64(len(frame))
-	s.stats.LastIncoming = time.Now()
+	s.stats.msgsIn.Add(1)
+	s.stats.bytesIn.Add(int64(len(frame)))
+	s.stats.lastIncoming.Store(time.Now().UnixNano())
+	s.mu.RLock()
 	h, ok := s.handlers[handlerKey{svc, param}]
 	if !ok {
 		h, ok = s.handlers[handlerKey{svc, ""}]
 	}
-	if !ok {
-		s.stats.NoHandlerDrop++
-	}
 	closed := s.closed
-	s.mu.Unlock()
-	if !ok || closed {
+	s.mu.RUnlock()
+	if !ok {
+		s.stats.noHandlerDrop.Add(1)
+		return
+	}
+	if closed {
 		return
 	}
 	h(msg, from)
@@ -284,9 +353,7 @@ func (s *Service) DeliverLocal(svc, param string, msg *message.Message, from Add
 		return ErrClosed
 	}
 	if !ok {
-		s.mu.Lock()
-		s.stats.NoHandlerDrop++
-		s.mu.Unlock()
+		s.stats.noHandlerDrop.Add(1)
 		return fmt.Errorf("%w: %s/%s", ErrNoHandler, svc, param)
 	}
 	h(msg, from)
@@ -295,9 +362,22 @@ func (s *Service) DeliverLocal(svc, param string, msg *message.Message, from Add
 
 // Stats returns a snapshot of the endpoint counters.
 func (s *Service) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	st := Stats{
+		Started:       s.started,
+		MsgsIn:        s.stats.msgsIn.Load(),
+		MsgsOut:       s.stats.msgsOut.Load(),
+		BytesIn:       s.stats.bytesIn.Load(),
+		BytesOut:      s.stats.bytesOut.Load(),
+		NoHandlerDrop: s.stats.noHandlerDrop.Load(),
+		DecodeErrors:  s.stats.decodeErrors.Load(),
+	}
+	if ns := s.stats.lastIncoming.Load(); ns != 0 {
+		st.LastIncoming = time.Unix(0, ns)
+	}
+	if ns := s.stats.lastOutgoing.Load(); ns != 0 {
+		st.LastOutgoing = time.Unix(0, ns)
+	}
+	return st
 }
 
 // Close shuts down all transports. Handlers registered remain but no

@@ -161,6 +161,34 @@ func Parse(s string) (ID, error) {
 	return id, nil
 }
 
+// WireSize is the length of the binary wire form produced by AppendWire:
+// one kind byte followed by the 16 UUID bytes.
+const WireSize = 17
+
+// AppendWire appends the binary wire form of the ID — the kind byte then
+// the raw UUID — to buf and returns the extended slice. It is the
+// allocation-free dual of String for wire codecs; FromWire reverses it.
+func (id ID) AppendWire(buf []byte) []byte {
+	buf = append(buf, byte(id.kind))
+	return append(buf, id.uuid[:]...)
+}
+
+// FromWire reconstructs an ID from its binary wire form: the kind byte
+// and the raw UUID as laid out by AppendWire. An all-zero input yields
+// the nil ID; any other input with an invalid kind byte is rejected.
+// Unlike Parse it never allocates, so wire codecs can validate IDs
+// without round-tripping through the canonical text form.
+func FromWire(kind byte, uuid [16]byte) (ID, error) {
+	id := ID{kind: Kind(kind), uuid: uuid}
+	if id == Nil {
+		return Nil, nil
+	}
+	if !id.kind.valid() {
+		return Nil, fmt.Errorf("%w: invalid kind byte %#x", ErrBadFormat, kind)
+	}
+	return id, nil
+}
+
 // MustParse is Parse for trusted literals; it panics on malformed input.
 func MustParse(s string) ID {
 	id, err := Parse(s)

@@ -1,6 +1,7 @@
 package jid
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -250,5 +251,70 @@ func TestSetConcurrent(t *testing.T) {
 	}
 	if s.Len() > 32 {
 		t.Fatalf("set grew beyond key space: %d", s.Len())
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	// Property: FromWire inverts AppendWire for every valid ID.
+	f := func(seed uint64, kindSel uint8) bool {
+		kind := Kind(kindSel%6 + 1)
+		id := FromSeed(kind, seed)
+		buf := id.AppendWire(nil)
+		if len(buf) != WireSize {
+			return false
+		}
+		got, err := FromWire(buf[0], [16]byte(buf[1:]))
+		return err == nil && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireMatchesTextForm(t *testing.T) {
+	// The binary wire form and the canonical URN must name the same ID.
+	for kind := KindPeer; kind <= KindModule; kind++ {
+		id := New(kind)
+		buf := id.AppendWire(nil)
+		viaWire, err := FromWire(buf[0], [16]byte(buf[1:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaText, err := Parse(id.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaWire != viaText {
+			t.Fatalf("wire %v != text %v", viaWire, viaText)
+		}
+	}
+}
+
+func TestFromWireRejectsBadKind(t *testing.T) {
+	var uuid [16]byte
+	uuid[0] = 1 // non-zero so the input is not the nil ID
+	for _, kind := range []byte{0, 7, 8, 42, 255} {
+		if _, err := FromWire(kind, uuid); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("kind %#x: want ErrBadFormat, got %v", kind, err)
+		}
+	}
+}
+
+func TestFromWireNil(t *testing.T) {
+	id, err := FromWire(0, [16]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !id.IsZero() {
+		t.Fatalf("all-zero wire form must decode to the nil ID, got %v", id)
+	}
+}
+
+func TestAppendWireReusesBuffer(t *testing.T) {
+	id := FromSeed(KindPipe, 99)
+	buf := make([]byte, 0, 64)
+	out := id.AppendWire(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendWire reallocated despite sufficient capacity")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 )
@@ -41,47 +40,33 @@ var (
 )
 
 func putID(buf []byte, id jid.ID) []byte {
-	buf = append(buf, byte(id.Kind()))
-	u := id.UUID()
-	return append(buf, u[:]...)
+	return id.AppendWire(buf)
 }
 
-func readID(r io.Reader) (jid.ID, error) {
-	var raw [17]byte
-	if _, err := io.ReadFull(r, raw[:]); err != nil {
-		return jid.Nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+func readID(r *sliceReader) (jid.ID, error) {
+	var raw [jid.WireSize]byte
+	if err := r.readInto(raw[:]); err != nil {
+		return jid.Nil, err
 	}
-	if raw == ([17]byte{}) {
-		return jid.Nil, nil
-	}
-	// Round-trip through the canonical text form so kind validation lives
-	// in one place (jid.Parse).
-	hexID := make([]byte, 0, 17)
-	hexID = append(hexID, raw[1:]...)
-	hexID = append(hexID, raw[0])
-	id, err := jid.Parse("urn:jxta:uuid-" + hexEncode(hexID))
+	id, err := jid.FromWire(raw[0], [16]byte(raw[1:]))
 	if err != nil {
 		return jid.Nil, fmt.Errorf("message: bad ID: %w", err)
 	}
 	return id, nil
 }
 
-func hexEncode(b []byte) string {
-	const digits = "0123456789abcdef"
-	out := make([]byte, 2*len(b))
-	for i, v := range b {
-		out[2*i] = digits[v>>4]
-		out[2*i+1] = digits[v&0x0f]
-	}
-	return string(out)
-}
-
 // Marshal encodes the message into a single wire frame.
 func (m *Message) Marshal() ([]byte, error) {
+	return m.MarshalAppend(make([]byte, 0, m.WireSize()))
+}
+
+// MarshalAppend encodes the message onto the end of buf and returns the
+// extended slice, letting hot paths reuse pooled buffers instead of
+// allocating a fresh frame per send.
+func (m *Message) MarshalAppend(buf []byte) ([]byte, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, m.WireSize())
 	buf = append(buf, wireMagic[:]...)
 	buf = append(buf, wireVersion)
 	buf = putID(buf, m.ID)
@@ -109,8 +94,8 @@ func (m *Message) Marshal() ([]byte, error) {
 func Unmarshal(frame []byte) (*Message, error) {
 	r := &sliceReader{buf: frame}
 	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	if err := r.readInto(magic[:]); err != nil {
+		return nil, err
 	}
 	if magic != wireMagic {
 		return nil, ErrBadMagic
@@ -193,13 +178,16 @@ type sliceReader struct {
 
 func (r *sliceReader) remaining() int { return len(r.buf) - r.off }
 
-func (r *sliceReader) Read(p []byte) (int, error) {
-	if r.off >= len(r.buf) {
-		return 0, io.EOF
+// readInto copies exactly len(p) bytes into p without the interface
+// indirection of io.ReadFull, which would force p's backing array to
+// escape to the heap at every call site.
+func (r *sliceReader) readInto(p []byte) error {
+	if r.remaining() < len(p) {
+		return ErrTruncated
 	}
-	n := copy(p, r.buf[r.off:])
-	r.off += n
-	return n, nil
+	copy(p, r.buf[r.off:])
+	r.off += len(p)
+	return nil
 }
 
 func (r *sliceReader) byte() (byte, error) {

@@ -78,6 +78,43 @@ func (m *Message) AddString(namespace, name, value string) {
 	m.AddElement(Element{Namespace: namespace, Name: name, MimeType: "text/plain", Data: []byte(value)})
 }
 
+// AddID appends an element whose payload is the binary wire form of the
+// ID (jid.WireSize bytes), avoiding the text URN round-trip on the hot
+// path. GetID reverses it.
+func (m *Message) AddID(namespace, name string, id jid.ID) {
+	m.AddElement(Element{
+		Namespace: namespace,
+		Name:      name,
+		MimeType:  "application/x-jxta-id",
+		Data:      id.AppendWire(make([]byte, 0, jid.WireSize)),
+	})
+}
+
+// ReplaceID is AddID with ReplaceElement semantics.
+func (m *Message) ReplaceID(namespace, name string, id jid.ID) {
+	m.ReplaceElement(Element{
+		Namespace: namespace,
+		Name:      name,
+		MimeType:  "application/x-jxta-id",
+		Data:      id.AppendWire(make([]byte, 0, jid.WireSize)),
+	})
+}
+
+// GetID decodes the named ID element. It accepts both the binary form
+// written by AddID and, for compatibility with frames from older peers,
+// the canonical text URN. A missing element or malformed payload returns
+// an error.
+func (m *Message) GetID(namespace, name string) (jid.ID, error) {
+	e, ok := m.Element(namespace, name)
+	if !ok {
+		return jid.Nil, fmt.Errorf("message: no %s:%s element", namespace, name)
+	}
+	if len(e.Data) == jid.WireSize {
+		return jid.FromWire(e.Data[0], [16]byte(e.Data[1:]))
+	}
+	return jid.Parse(string(e.Data))
+}
+
 // Element returns the first element with the given namespace and name.
 func (m *Message) Element(namespace, name string) (Element, bool) {
 	for _, e := range m.elements {

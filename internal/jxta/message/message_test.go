@@ -344,3 +344,158 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestAddGetIDRoundTrip(t *testing.T) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	want := jid.FromSeed(jid.KindPipe, 42)
+	m.AddID("tps", "EventID", want)
+	e, ok := m.Element("tps", "EventID")
+	if !ok {
+		t.Fatal("element missing")
+	}
+	if len(e.Data) != jid.WireSize {
+		t.Fatalf("binary ID element is %d bytes, want %d", len(e.Data), jid.WireSize)
+	}
+	got, err := m.GetID("tps", "EventID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestReplaceIDReplaces(t *testing.T) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	m.AddID("wire", "ID", jid.FromSeed(jid.KindPipe, 1))
+	m.ReplaceID("wire", "ID", jid.FromSeed(jid.KindPipe, 2))
+	if m.Len() != 1 {
+		t.Fatalf("ReplaceID appended instead of replacing: %d elements", m.Len())
+	}
+	got, err := m.GetID("wire", "ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != jid.FromSeed(jid.KindPipe, 2) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGetIDTextFallback(t *testing.T) {
+	// Frames from peers predating the binary ID element carry the ID as a
+	// canonical URN string; GetID must still understand them.
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	want := jid.FromSeed(jid.KindMessage, 7)
+	m.AddString("tps", "EventID", want.String())
+	got, err := m.GetID("tps", "EventID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestGetIDErrors(t *testing.T) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	if _, err := m.GetID("tps", "absent"); err == nil {
+		t.Fatal("missing element must error")
+	}
+	m.AddBytes("tps", "junk", []byte("not an id"))
+	if _, err := m.GetID("tps", "junk"); err == nil {
+		t.Fatal("malformed payload must error")
+	}
+	bad := make([]byte, jid.WireSize)
+	bad[0] = 0xEE // invalid kind byte, non-zero uuid
+	bad[1] = 1
+	m.AddBytes("tps", "badkind", bad)
+	if _, err := m.GetID("tps", "badkind"); err == nil {
+		t.Fatal("invalid kind byte must error")
+	}
+}
+
+// TestWireCompatGoldenFrame builds a frame byte-for-byte to the layout
+// documented in codec.go — the layout frames had before the binary ID
+// fast path — and asserts both directions: Unmarshal decodes it, and
+// Marshal still produces exactly those bytes. The binary ID change is an
+// implementation detail; the wire format must not move.
+func TestWireCompatGoldenFrame(t *testing.T) {
+	src := jid.FromSeed(jid.KindPeer, 3)
+	hop := jid.FromSeed(jid.KindPeer, 4)
+	msgID := jid.FromSeed(jid.KindMessage, 5)
+
+	putID := func(buf []byte, id jid.ID) []byte {
+		buf = append(buf, byte(id.Kind()))
+		u := id.UUID()
+		return append(buf, u[:]...)
+	}
+	var golden []byte
+	golden = append(golden, 'J', 'X', 'M', '1') // magic
+	golden = append(golden, 1)                  // version
+	golden = putID(golden, msgID)
+	golden = putID(golden, src)
+	golden = append(golden, 6)    // ttl
+	golden = append(golden, 1)    // path length
+	golden = putID(golden, hop)   // path[0]
+	golden = append(golden, 0, 1) // element count
+	golden = append(golden, 0, 3) // nslen
+	golden = append(golden, "app"...)
+	golden = append(golden, 0, 4) // namelen
+	golden = append(golden, "data"...)
+	golden = append(golden, 0, 0)       // mimelen
+	golden = append(golden, 0, 0, 0, 2) // datalen
+	golden = append(golden, 0xCA, 0xFE)
+
+	m, err := Unmarshal(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != msgID || m.Src != src || m.TTL != 6 {
+		t.Fatalf("envelope mismatch: %+v", m)
+	}
+	if len(m.Path) != 1 || m.Path[0] != hop {
+		t.Fatalf("path mismatch: %v", m.Path)
+	}
+	if got := m.Bytes("app", "data"); !bytes.Equal(got, []byte{0xCA, 0xFE}) {
+		t.Fatalf("payload mismatch: %x", got)
+	}
+
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, golden) {
+		t.Fatalf("re-marshal diverged from golden frame:\n got %x\nwant %x", enc, golden)
+	}
+}
+
+func TestMarshalAppendUsesBuffer(t *testing.T) {
+	m := testMsg()
+	buf := make([]byte, 0, m.WireSize())
+	out, err := m.MarshalAppend(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("MarshalAppend reallocated despite sufficient capacity")
+	}
+	plain, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, plain) {
+		t.Fatal("MarshalAppend and Marshal disagree")
+	}
+}
+
+func TestUnmarshalRejectsBadIDKind(t *testing.T) {
+	frame, err := testMsg().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the kind byte of the message ID (first byte after magic+version).
+	frame[5] = 0xEE
+	if _, err := Unmarshal(frame); err == nil {
+		t.Fatal("corrupt kind byte must be rejected")
+	}
+}

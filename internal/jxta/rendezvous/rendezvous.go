@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
@@ -66,9 +67,13 @@ func (r Role) String() string {
 }
 
 // Endpoint is the slice of the endpoint service the rendezvous protocol
-// needs: sending, local delivery and handler registration.
+// needs: sending, local delivery and handler registration. The frame
+// methods let fanOut marshal a propagated message once and send the same
+// bytes to every target instead of re-enveloping per peer.
 type Endpoint interface {
 	endpoint.Sender
+	EncodeFrame(svc, param string, msg *message.Message) ([]byte, error)
+	SendFrame(to endpoint.Address, frame []byte) error
 	DeliverLocal(svc, param string, msg *message.Message, from endpoint.Address) error
 	RegisterHandler(svc, param string, h endpoint.Handler) error
 	UnregisterHandler(svc, param string)
@@ -110,6 +115,14 @@ type Stats struct {
 	LeasesActive int   // currently connected clients (rendezvous role)
 }
 
+// rdvCounters is the lock-free internal form of Stats: the propagation
+// hot path bumps these without taking s.mu.
+type rdvCounters struct {
+	propagated atomic.Int64
+	delivered  atomic.Int64
+	duplicates atomic.Int64
+}
+
 type peerEntry struct {
 	addr    endpoint.Address
 	expires time.Time
@@ -133,11 +146,11 @@ type Service struct {
 	now   func() time.Time
 	seen  *seen.Cache
 	lease time.Duration
+	stats rdvCounters
 
 	mu      sync.Mutex
 	clients map[clientKey]peerEntry // connected to us (rendezvous role)
 	rdvs    map[jid.ID]peerEntry    // we are connected to them (granted leases)
-	stats   Stats
 	conn    *sync.Cond // signals rdvs-set changes
 	closed  bool
 
@@ -257,10 +270,14 @@ func (s *Service) DirectAddress(id jid.ID) (endpoint.Address, bool) {
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
+	st := Stats{
+		Propagated: s.stats.propagated.Load(),
+		Delivered:  s.stats.delivered.Load(),
+		Duplicates: s.stats.duplicates.Load(),
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.expireLocked()
-	st := s.stats
 	st.LeasesActive = len(s.clients)
 	return st
 }
@@ -306,9 +323,7 @@ func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
 	s.seen.Observe(out.ID)
 
 	n := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
-	s.mu.Lock()
-	s.stats.Propagated++
-	s.mu.Unlock()
+	s.stats.propagated.Add(1)
 	if n == 0 {
 		return ErrNoPeers
 	}
@@ -349,12 +364,22 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 	}
 	s.mu.Unlock()
 
+	// Marshal once: every target receives the identical frame, so the
+	// envelope-and-encode work must not be repeated per peer.
+	var frame []byte
 	n := 0
 	for _, t := range targets {
 		if t.id == except || msg.Visited(t.id) {
 			continue
 		}
-		if err := s.ep.Send(t.addr, ServiceName, param, msg); err != nil {
+		if frame == nil {
+			var err error
+			if frame, err = s.ep.EncodeFrame(ServiceName, param, msg); err != nil {
+				return 0
+			}
+			defer endpoint.RecycleFrame(frame)
+		}
+		if err := s.ep.SendFrame(t.addr, frame); err != nil {
 			continue // unreachable peers age out via lease expiry
 		}
 		n++
@@ -441,9 +466,7 @@ func (s *Service) handleDisconnect(msg *message.Message) {
 
 func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 	if !s.seen.Observe(msg.ID) {
-		s.mu.Lock()
-		s.stats.Duplicates++
-		s.mu.Unlock()
+		s.stats.duplicates.Add(1)
 		return
 	}
 	dsvc := msg.Text(elemNS, elemDSvc)
@@ -452,9 +475,7 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 		return
 	}
 	if err := s.ep.DeliverLocal(dsvc, dparam, msg, from); err == nil {
-		s.mu.Lock()
-		s.stats.Delivered++
-		s.mu.Unlock()
+		s.stats.delivered.Add(1)
 	}
 	// Forward deeper into the mesh. Edge peers terminate propagation;
 	// only rendezvous fan out.
@@ -465,9 +486,7 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 	if !fwd.Stamp(s.ep.PeerID()) {
 		return
 	}
-	s.mu.Lock()
-	s.stats.Propagated++
-	s.mu.Unlock()
+	s.stats.propagated.Add(1)
 	s.fanOut(fwd, msg.Src, s.incomingParam(msg))
 }
 

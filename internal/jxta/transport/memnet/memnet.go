@@ -32,7 +32,9 @@ func (t *Transport) LocalAddress() endpoint.Address {
 	return endpoint.MakeAddress(Scheme, t.node.Name())
 }
 
-// Send implements endpoint.Transport.
+// Send implements endpoint.Transport. The netsim node copies the frame
+// before scheduling delivery, satisfying the no-retain contract of
+// endpoint.Transport (the endpoint recycles frame buffers).
 func (t *Transport) Send(to endpoint.Address, frame []byte) error {
 	return t.node.Send(to.Host(), frame)
 }

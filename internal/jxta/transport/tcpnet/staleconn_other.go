@@ -1,0 +1,10 @@
+//go:build !unix
+
+package tcpnet
+
+import "net"
+
+// connDead is a no-op where raw-descriptor peeking is unavailable; the
+// readLoop's EOF handling still drops stale connections, just not
+// synchronously with Send.
+func connDead(net.Conn) bool { return false }

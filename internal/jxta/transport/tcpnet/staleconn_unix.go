@@ -1,0 +1,44 @@
+//go:build unix
+
+package tcpnet
+
+import (
+	"net"
+	"syscall"
+)
+
+// connDead reports whether the remote end of a cached connection has
+// already closed or reset it, using a non-blocking MSG_PEEK on the raw
+// descriptor. A write to such a connection would "succeed" into the
+// kernel buffer and the frame would be silently lost — the failure mode
+// of sending to a peer that restarted. The peek never consumes data
+// (the concurrent readLoop still sees every frame) and never blocks.
+func connDead(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	dead := false
+	var buf [1]byte
+	_ = raw.Control(func(fd uintptr) {
+		for {
+			n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+			switch {
+			case err == syscall.EINTR:
+				continue
+			case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+				// Alive: nothing to read right now.
+			case err != nil:
+				dead = true // ECONNRESET and friends
+			case n == 0:
+				dead = true // orderly shutdown: FIN already received
+			}
+			return
+		}
+	})
+	return dead
+}

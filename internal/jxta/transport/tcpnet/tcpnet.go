@@ -43,13 +43,25 @@ type tconn struct {
 	wmu sync.Mutex
 }
 
+// wbufPool recycles the length-prefixed write buffers so steady-state
+// sending does not allocate one per frame.
+var wbufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func (tc *tconn) writeFrame(frame []byte) error {
-	buf := make([]byte, 4+len(frame))
+	bp := wbufPool.Get().(*[]byte)
+	buf := *bp
+	if need := 4 + len(frame); cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
 	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
 	copy(buf[4:], frame)
 	tc.wmu.Lock()
-	defer tc.wmu.Unlock()
 	_, err := tc.c.Write(buf)
+	tc.wmu.Unlock()
+	*bp = buf
+	wbufPool.Put(bp)
 	return err
 }
 
@@ -113,7 +125,13 @@ func (t *Transport) Send(to endpoint.Address, frame []byte) error {
 }
 
 // getConn returns a cached or fresh connection and whether it was dialed
-// by this call.
+// by this call. A cached connection whose peer has already closed it is
+// detected synchronously (connDead) and replaced, so a Send after a peer
+// restart does not silently write into a dead socket. The peek costs one
+// non-blocking recvfrom per cached send — a deliberate trade: skipping
+// it on "recently active" connections would reopen a silent-loss window
+// exactly when a peer restarts, and the write syscall it precedes is of
+// the same order of cost.
 func (t *Transport) getConn(host string) (*tconn, bool, error) {
 	t.mu.Lock()
 	if t.closed {
@@ -122,9 +140,13 @@ func (t *Transport) getConn(host string) (*tconn, bool, error) {
 	}
 	if c, ok := t.conns[host]; ok {
 		t.mu.Unlock()
-		return c, false, nil
+		if !connDead(c.c) {
+			return c, false, nil
+		}
+		t.dropConn(host, c)
+	} else {
+		t.mu.Unlock()
 	}
-	t.mu.Unlock()
 
 	c, err := net.Dial("tcp", host)
 	if err != nil {

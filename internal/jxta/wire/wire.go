@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tps-p2p/tps/internal/jxta/adv"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
@@ -69,16 +70,24 @@ type Stats struct {
 	Duplicates int64
 }
 
+// wireCounters is the lock-free internal form of Stats: the per-message
+// send and deliver paths bump these without touching s.mu.
+type wireCounters struct {
+	sent       atomic.Int64
+	received   atomic.Int64
+	duplicates atomic.Int64
+}
+
 // Service manages the propagated pipes of one peer in one group.
 type Service struct {
-	ep   Endpoint
-	prop Propagator
-	cfg  Config
-	seen *seen.Cache
+	ep    Endpoint
+	prop  Propagator
+	cfg   Config
+	seen  *seen.Cache
+	stats wireCounters
 
 	mu     sync.Mutex
 	inputs map[jid.ID]*InputPipe
-	stats  Stats
 	closed bool
 }
 
@@ -151,32 +160,32 @@ func (s *Service) CreateOutputPipe(pa *adv.PipeAdv) (*OutputPipe, error) {
 
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Sent:       s.stats.sent.Load(),
+		Received:   s.stats.received.Load(),
+		Duplicates: s.stats.duplicates.Load(),
+	}
 }
 
 // handle delivers propagated wire messages to the local input pipe.
+// Dedupe runs first: duplicate frames are the common case in a meshed
+// topology, and dropping them must not pay for parsing the pipe ID.
 func (s *Service) handle(msg *message.Message, _ endpoint.Address) {
-	id, err := jid.Parse(msg.Text(elemNS, elemID))
-	if err != nil {
+	if !s.cfg.DisableDedupe && !s.seen.Observe(msg.ID) {
+		s.stats.duplicates.Add(1)
 		return
 	}
-	if !s.cfg.DisableDedupe && !s.seen.Observe(msg.ID) {
-		s.mu.Lock()
-		s.stats.Duplicates++
-		s.mu.Unlock()
+	id, err := msg.GetID(elemNS, elemID)
+	if err != nil {
 		return
 	}
 	s.mu.Lock()
 	in, ok := s.inputs[id]
-	if ok {
-		s.stats.Received++
-	}
 	s.mu.Unlock()
 	if !ok {
 		return
 	}
+	s.stats.received.Add(1)
 	in.deliver(msg)
 }
 
@@ -188,11 +197,11 @@ func (s *Service) send(id jid.ID, msg *message.Message) error {
 		return ErrClosed
 	}
 	in := s.inputs[id]
-	s.stats.Sent++
 	s.mu.Unlock()
+	s.stats.sent.Add(1)
 
 	out := msg.Dup()
-	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemID, Data: []byte(id.String())})
+	out.ReplaceID(elemNS, elemID, id)
 	// Mark our own message as seen so a mesh echo is not re-delivered.
 	if !s.cfg.DisableDedupe {
 		s.seen.Observe(out.ID)
@@ -200,9 +209,7 @@ func (s *Service) send(id jid.ID, msg *message.Message) error {
 	// Local loopback first: a peer subscribing to its own wire hears
 	// itself regardless of mesh connectivity.
 	if in != nil {
-		s.mu.Lock()
-		s.stats.Received++
-		s.mu.Unlock()
+		s.stats.received.Add(1)
 		in.deliver(out.Dup())
 	}
 	if err := s.prop.Propagate(out, ServiceName, s.cfg.Group); err != nil {

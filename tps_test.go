@@ -295,6 +295,59 @@ func TestUnsubscribeSpecificCallback(t *testing.T) {
 	}
 }
 
+// TestUnsubscribeLastTearsDownCore asserts that removing the final
+// (callback, handler) pair via Unsubscribe stops deliveries entirely —
+// ObjectsReceived must not keep growing on an interface nobody listens
+// on — and that a later Subscribe revives the flow.
+func TestUnsubscribeLastTearsDownCore(t *testing.T) {
+	r := newRig(t)
+	pubP, subP := r.edge(), r.edge()
+	for _, p := range []*tps.Platform{pubP, subP} {
+		if err := tps.Register[SkiRental](p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subEng, _ := tps.NewEngine[SkiRental](subP)
+	defer subEng.Close()
+	subInt, _ := subEng.NewInterface(nil)
+	var g gather[SkiRental]
+	if err := subInt.Subscribe(&g, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	pubEng, _ := tps.NewEngine[SkiRental](pubP)
+	defer pubEng.Close()
+	pubInt, _ := pubEng.NewInterface(nil)
+	if !pubEng.AwaitReady(1, 5*time.Second) {
+		t.Fatal("not ready")
+	}
+	if err := pubInt.Publish(SkiRental{Shop: "one"}); err != nil {
+		t.Fatal(err)
+	}
+	waitN(t, &g, 1)
+
+	// Remove the only pair: the core subscription must go with it.
+	if err := subInt.Unsubscribe(&g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := pubInt.Publish(SkiRental{Shop: "two"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := len(subInt.ObjectsReceived()); got != 1 {
+		t.Fatalf("interface kept receiving after last Unsubscribe: %d events", got)
+	}
+
+	// Resubscribing revives delivery.
+	if err := subInt.Subscribe(&g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := pubInt.Publish(SkiRental{Shop: "three"}); err != nil {
+		t.Fatal(err)
+	}
+	waitN(t, &g, 2)
+}
+
 func TestCriteriaContentFilter(t *testing.T) {
 	r := newRig(t)
 	pubP, subP := r.edge(), r.edge()
