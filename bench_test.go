@@ -8,6 +8,7 @@ package tps_test
 import (
 	"fmt"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -212,34 +213,35 @@ func BenchmarkAblationSubtypeDispatch(b *testing.B) {
 	}
 }
 
-// BenchmarkLocalPublishDeliver measures the full local publish→deliver
-// round trip — encode, wire send, loopback, dedupe, decode, dispatch —
-// on one isolated platform. allocs/op here is the hot-path allocation
-// budget the zero-allocation work targets; TestHotPathAllocBudget gates
-// the codec portion so regressions fail tests, not just benchmarks.
-func BenchmarkLocalPublishDeliver(b *testing.B) {
+// localPublishDeliverLoop assembles a single-peer platform with one
+// subscriber and returns a function that publishes one paper-sized event
+// and blocks until the wire loopback delivers it — the full encode, wire
+// send, loopback, dedupe, dispatch round trip. BenchmarkLocalPublishDeliver
+// times it; TestHotPathAllocBudget gates its allocation count.
+func localPublishDeliverLoop(tb testing.TB) func() {
+	tb.Helper()
 	net := netsim.New(netsim.Config{})
-	defer net.Close()
+	tb.Cleanup(net.Close)
 	node, err := net.AddNode("solo")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	p, err := tps.NewPlatform(tps.Config{Name: "solo"}, tps.WithTransport(memnet.New(node)))
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	defer p.Close()
+	tb.Cleanup(func() { p.Close() })
 	if err := tps.Register[srapp.SkiRental](p); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	eng, err := tps.NewEngine[srapp.SkiRental](p)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	defer eng.Close()
+	tb.Cleanup(func() { eng.Close() })
 	iface, err := eng.NewInterface(nil)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	delivered := make(chan struct{}, 1)
 	err = iface.Subscribe(tps.CallBackFunc[srapp.SkiRental](func(srapp.SkiRental) error {
@@ -247,17 +249,68 @@ func BenchmarkLocalPublishDeliver(b *testing.B) {
 		return nil
 	}), nil)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	offer := srapp.Pad(srapp.SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}, 1710)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	return func() {
 		if err := iface.Publish(offer); err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		<-delivered
 	}
+}
+
+// BenchmarkLocalPublishDeliver measures the full local publish→deliver
+// round trip — encode, wire send, loopback, dedupe, decode, dispatch —
+// on one isolated platform. allocs/op here is the hot-path allocation
+// budget the zero-allocation work targets; TestHotPathAllocBudget gates
+// it so regressions fail tests, not just benchmarks.
+func BenchmarkLocalPublishDeliver(b *testing.B) {
+	roundTrip := localPublishDeliverLoop(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+}
+
+// BenchmarkSeenObserve measures the dedupe cache under the two shapes the
+// mesh produces: a single hot connection (serial) and many connections
+// deduplicating concurrently (parallel, where the lock-striped shards
+// must scale instead of serialising on a global mutex). The parallel-dup
+// variant is the flooding steady state: every Observe is a replay.
+func BenchmarkSeenObserve(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		c := seen.New(seen.WithCapacity(1 << 16))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		c := seen.New(seen.WithCapacity(1 << 16))
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Observe(jid.FromSeed(jid.KindMessage, next.Add(1)))
+			}
+		})
+	})
+	b.Run("parallel-dup", func(b *testing.B) {
+		c := seen.New(seen.WithCapacity(1 << 16))
+		const hot = 64 // a few in-flight events echoed by every mesh path
+		for i := 0; i < hot; i++ {
+			c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+		}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Observe(jid.FromSeed(jid.KindMessage, next.Add(1)%hot))
+			}
+		})
+	})
 }
 
 // TestHotPathAllocBudget is the regression gate behind the codec
@@ -265,7 +318,18 @@ func BenchmarkLocalPublishDeliver(b *testing.B) {
 // budget per marshal/unmarshal. The seed decoded every wire ID through a
 // hex string + jid.Parse round trip (19 allocs/op to unmarshal); the
 // binary ID path brought that under 8, and this test keeps it there.
+// The end-to-end budget gates the whole publish→deliver round trip: the
+// deep-copy delivery path cost 246 allocs/op; copy-on-write Dup, the
+// sharded seen cache and decode-once dispatch brought it to ~41, and
+// the 120 ceiling keeps the ≥50 % win from regressing silently.
 func TestHotPathAllocBudget(t *testing.T) {
+	roundTrip := localPublishDeliverLoop(t)
+	roundTrip() // warm attachments, pools and gob type machinery
+	e2eAllocs := testing.AllocsPerRun(300, roundTrip)
+	if e2eAllocs > 120 {
+		t.Errorf("publish→deliver round trip allocates %.1f/op, budget is 120 (pre-COW path was 246)", e2eAllocs)
+	}
+
 	m := message.New(jid.FromSeed(jid.KindPeer, 1))
 	m.Path = append(m.Path, jid.FromSeed(jid.KindPeer, 2))
 	payload := make([]byte, 1910)

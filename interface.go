@@ -137,6 +137,14 @@ type subEntry[T any] struct {
 // Publish sends an instance of the type as an event to the subscribers —
 // method (1) of Figure 8. The event's dynamic type may be any registered
 // subtype of T.
+//
+// Events are immutable once published (§4.2): the publisher must not
+// mutate memory reachable through the event (slices, maps, pointers)
+// after Publish returns. Local subscribers on the same peer may be
+// handed the publisher's value itself rather than a serialisation
+// round-trip copy — the decode-once delivery path — so post-publish
+// mutation is observable (or racy) there, while remote subscribers
+// always decode their own copy.
 func (i *Interface[T]) Publish(event T) error {
 	if err := i.eng.core.Publish(event); err != nil {
 		return psErr("publish", err)
@@ -149,6 +157,11 @@ func (i *Interface[T]) Publish(event T) error {
 
 // Subscribe registers a callback object plus the exception handler for
 // errors raised while handling events — method (2). exh may be nil.
+//
+// Delivered events follow the immutability contract of Publish:
+// callbacks must treat the event as read-only. An event published on
+// this same peer may share memory with the publisher's value and, when
+// several subscriptions match, with the other callbacks' deliveries.
 func (i *Interface[T]) Subscribe(cb CallBack[T], exh ExceptionHandler) error {
 	if cb == nil {
 		return psErr("subscribe", errors.New("nil callback"))

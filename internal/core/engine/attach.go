@@ -89,6 +89,7 @@ func (e *Engine) attach(pg *adv.PeerGroupAdv) error {
 		e.attachments[path] = make(map[jid.ID]*attachment)
 	}
 	e.attachments[path][pg.GroupID] = a
+	delete(e.pubSnaps, path) // invalidate the cached publish fan-out snapshot
 	e.cond.Broadcast()
 	e.mu.Unlock()
 	return nil
@@ -99,6 +100,7 @@ func (e *Engine) attach(pg *adv.PeerGroupAdv) error {
 // parsed-back URN string.
 func newEventMessage(e *Engine, eventID jid.ID, path string, payload []byte) *message.Message {
 	msg := message.New(e.peer.ID())
+	msg.Grow(4)
 	msg.AddID(elemNS, elemEventID, eventID)
 	msg.AddString(elemNS, elemPath, path)
 	msg.AddString(elemNS, elemCodec, e.codec.Name())
@@ -135,6 +137,15 @@ func (a *attachment) close(p *peer.Peer) {
 
 // onWireMessage is the pipe reader: it deduplicates, decodes and
 // dispatches one incoming event.
+//
+// Decode-once: the payload of any given event is gob-decoded at most
+// once on this peer. Deduplication runs before the decode, so an event
+// echoed through several groups or mesh paths decodes on first arrival
+// only; the decoded value is then shared across every matching
+// subscription and interface callback (dispatch fans the same value
+// out). Events this peer itself published skip the decode entirely —
+// the publisher still holds the original value (publishedEvents) and
+// loopback dispatches it as-is.
 func (e *Engine) onWireMessage(msg *message.Message) {
 	eventID, err := msg.GetID(elemNS, elemEventID)
 	if err != nil {
@@ -154,6 +165,11 @@ func (e *Engine) onWireMessage(msg *message.Message) {
 		// A type outside our registered model: the common-type-model
 		// assumption (§6) means we cannot decode it.
 		e.stats.decodeErrors.Add(1)
+		return
+	}
+	if value, ok := e.self.get(eventID); ok {
+		e.stats.delivered.Add(1)
+		e.subs.dispatch(e.reg, node, value, msg.Src)
 		return
 	}
 	c := e.codec

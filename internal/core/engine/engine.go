@@ -80,10 +80,12 @@ type Engine struct {
 	cond         *sync.Cond                        // broadcast on attachment changes
 	tracked      map[string]*typereg.Node          // root paths the finder queries for
 	attachments  map[string]map[jid.ID]*attachment // type path -> group ID -> attachment
+	pubSnaps     map[string][]*attachment          // immutable fan-out snapshots; invalidated on attach/detach
 	creating     map[jid.ID]bool                   // group IDs being attached right now
 	creatingPath map[string]bool                   // type paths whose own adv is being created
 	subs         *subscriptionSet
 	dedupe       *seen.Cache
+	self         *publishedEvents // decode-once: values this peer published, by event ID
 	closed       bool
 
 	// Per-message counters are atomics so the publish and deliver paths
@@ -140,10 +142,12 @@ func New(cfg Config) (*Engine, error) {
 		fint:         cfg.FindInterval,
 		tracked:      make(map[string]*typereg.Node),
 		attachments:  make(map[string]map[jid.ID]*attachment),
+		pubSnaps:     make(map[string][]*attachment),
 		creating:     make(map[jid.ID]bool),
 		creatingPath: make(map[string]bool),
 		subs:         newSubscriptionSet(),
 		dedupe:       seen.New(),
+		self:         newPublishedEvents(),
 		stop:         make(chan struct{}),
 		kick:         make(chan struct{}, 1),
 	}
@@ -235,9 +239,16 @@ func (e *Engine) Publish(event any) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	atts := make([]*attachment, 0, len(e.attachments[node.Path()]))
-	for _, a := range e.attachments[node.Path()] {
-		atts = append(atts, a)
+	// Steady-state publish reuses the cached fan-out snapshot; the slice
+	// is rebuilt only after an attach or detach invalidated it, so the
+	// per-call copy-under-mutex allocation is gone from the hot path.
+	atts, ok := e.pubSnaps[node.Path()]
+	if !ok {
+		atts = make([]*attachment, 0, len(e.attachments[node.Path()]))
+		for _, a := range e.attachments[node.Path()] {
+			atts = append(atts, a)
+		}
+		e.pubSnaps[node.Path()] = atts
 	}
 	e.mu.Unlock()
 	e.stats.published.Add(1)
@@ -245,7 +256,11 @@ func (e *Engine) Publish(event any) error {
 	// Build the four-element TPS message once and share it across the
 	// fan-out: the wire service Dups before mutating, so each attachment
 	// sees its own envelope without the engine rebuilding the elements.
-	msg := newEventMessage(e, jid.NewMessage(), node.Path(), payload)
+	eventID := jid.NewMessage()
+	// Decode-once: remember the outgoing value so the synchronous wire
+	// loopback (and any mesh echo) dispatches it without a gob decode.
+	e.self.put(eventID, event)
+	msg := newEventMessage(e, eventID, node.Path(), payload)
 
 	var firstErr error
 	sent := 0

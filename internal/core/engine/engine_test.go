@@ -264,6 +264,19 @@ func TestSubtypeDeliveryFigure7(t *testing.T) {
 	if !subTech.eng.AwaitReady(subTech.nodes["tech"], 1, 5*time.Second) {
 		t.Fatal("leaf subscriber not ready")
 	}
+	// Under load the publisher's find window can expire before it sees a
+	// subscriber-created advertisement, leaving duplicate groups for one
+	// type. The publishes below are one-shot, so both sides must converge
+	// on the full merged group set (attached AND leased) before firing,
+	// as TestSimultaneousCreation does for the two-peer case. All
+	// advertisement creation is over by now, so the total is stable.
+	created := int(pub.eng.Stats().AdvsCreated + subAll.eng.Stats().AdvsCreated + subTech.eng.Stats().AdvsCreated)
+	if !pub.eng.AwaitReady(pub.nodes["quote"], created, 15*time.Second) {
+		t.Fatal("publisher never became ready on every merged group")
+	}
+	if !subAll.eng.AwaitReady(subAll.nodes["quote"], created, 15*time.Second) {
+		t.Fatal("root subscriber never became ready on every merged group")
+	}
 
 	if err := pub.eng.Publish(stockQuote{Symbol: "S", Price: 1}); err != nil {
 		t.Fatal(err)
@@ -327,8 +340,14 @@ func TestSimultaneousCreationConvergesWithExactlyOnceDelivery(t *testing.T) {
 			t.Fatal("engines never merged the duplicate advertisements")
 		}
 	}
-	if !a.eng.AwaitReady(a.nodes["stock"], 1, 5*time.Second) {
+	// The publishes below are one-shot: the publisher must hold a lease
+	// on EVERY merged group before firing, and the subscriber on at least
+	// one, or early events evaporate before the mesh is reachable.
+	if !a.eng.AwaitReady(a.nodes["stock"], int(created), 10*time.Second) {
 		t.Fatal("a not ready")
+	}
+	if !b.eng.AwaitReady(b.nodes["stock"], 1, 10*time.Second) {
+		t.Fatal("b not ready")
 	}
 	const total = 10
 	for i := 0; i < total; i++ {

@@ -268,7 +268,10 @@ func (s *Service) encodeFrame(svc, param string, msg *message.Message) (*[]byte,
 	}
 	s.mu.RUnlock()
 
-	out := msg.Dup() // envelope mutations must not leak into the caller's message
+	// Envelope mutations must not leak into the caller's message; the
+	// COW Dup shares the payload elements, and the ReplaceElements below
+	// clone just the headers, so enveloping never copies payload bytes.
+	out := msg.Dup()
 	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstSvc, Data: []byte(svc)})
 	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemDstParam, Data: []byte(param)})
 	out.ReplaceElement(message.Element{Namespace: ElemNamespace, Name: elemSrcAddr, Data: []byte(srcAddr)})

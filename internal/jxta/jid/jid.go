@@ -189,6 +189,20 @@ func FromWire(kind byte, uuid [16]byte) (ID, error) {
 	return id, nil
 }
 
+// Hash64 returns a well-mixed 64-bit hash of the ID, suitable for shard
+// selection and hash tables. Generated IDs carry random UUIDs, but
+// deterministic IDs (FromSeed) concentrate entropy unevenly, so the
+// folded halves go through a multiply-xorshift finalizer.
+func (id ID) Hash64() uint64 {
+	lo := binary.BigEndian.Uint64(id.uuid[:8])
+	hi := binary.BigEndian.Uint64(id.uuid[8:])
+	h := lo ^ hi*0x9e3779b97f4a7c15 ^ uint64(id.kind)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
 // MustParse is Parse for trusted literals; it panics on malformed input.
 func MustParse(s string) ID {
 	id, err := Parse(s)

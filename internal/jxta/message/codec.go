@@ -125,7 +125,9 @@ func Unmarshal(frame []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: path length %d", ErrTooLarge, plen)
 	}
 	if plen > 0 {
-		m.Path = make([]jid.ID, plen)
+		// Pre-size for the hops the message can still take, so forwarding
+		// peers Stamp without reallocating.
+		m.Path = make([]jid.ID, plen, int(plen)+int(m.TTL)+1)
 		for i := range m.Path {
 			if m.Path[i], err = readID(r); err != nil {
 				return nil, err

@@ -10,6 +10,28 @@
 // crosses the network; in-process the Message struct is shared by value of
 // its handle, so senders must Dup before mutating (mirroring JXTA's
 // msg.dup()).
+//
+// # Copy-on-write
+//
+// Messages are immutable-by-contract after construction: every hop of the
+// publish→propagate→deliver path that needs a private envelope calls Dup,
+// and Dup is a cheap header copy, not a deep copy. The element list —
+// including payload byte slices — is shared read-only between a message
+// and its Dups; the first mutation through AddElement, ReplaceElement or
+// RemoveElement clones the element headers (payloads stay shared), so a
+// ReplaceID on one hop's envelope never leaks into sibling deliveries.
+// Two rules keep this safe:
+//
+//   - element payloads must never be modified in place (they may be
+//     aliased by any number of in-flight copies and by pooled marshal
+//     buffers), and
+//   - Path must only be extended through Stamp; Dup gives each copy its
+//     own path slice, pre-sized so a full-TTL traversal does not
+//     reallocate.
+//
+// Dup itself requires the same single-goroutine ownership the deep copy
+// did: concurrent readers of a shared message are fine, but Dup and the
+// mutators must not race each other on the same Message.
 package message
 
 import (
@@ -47,10 +69,15 @@ type Message struct {
 	// is delivered locally but never forwarded.
 	TTL uint8
 	// Path lists the peers the message already visited, newest last.
-	// Rendezvous peers use it to suppress propagation loops.
+	// Rendezvous peers use it to suppress propagation loops. Extend it
+	// only through Stamp.
 	Path []jid.ID
 
 	elements []Element
+	// cow marks elements as shared with other messages (this message was
+	// Dup'd, or is a Dup). The first mutation clones the element headers
+	// before writing; payload bytes stay shared read-only.
+	cow bool
 }
 
 // DefaultTTL is the hop budget assigned by New. Seven hops comfortably
@@ -62,8 +89,33 @@ func New(src jid.ID) *Message {
 	return &Message{ID: jid.NewMessage(), Src: src, TTL: DefaultTTL}
 }
 
+// ownElements makes the element slice exclusively owned, cloning the
+// headers (payloads stay shared) when it is marked copy-on-write. extra
+// reserves capacity for that many appends beyond the current length.
+func (m *Message) ownElements(extra int) {
+	if !m.cow {
+		return
+	}
+	el := make([]Element, len(m.elements), len(m.elements)+extra)
+	copy(el, m.elements)
+	m.elements = el
+	m.cow = false
+}
+
+// Grow ensures capacity for n additional elements, so a known-size batch
+// of Add calls allocates at most once.
+func (m *Message) Grow(n int) {
+	if m.cow || cap(m.elements)-len(m.elements) < n {
+		el := make([]Element, len(m.elements), len(m.elements)+n)
+		copy(el, m.elements)
+		m.elements = el
+		m.cow = false
+	}
+}
+
 // AddElement appends an element to the message.
 func (m *Message) AddElement(e Element) {
+	m.ownElements(4)
 	m.elements = append(m.elements, e)
 }
 
@@ -148,6 +200,7 @@ func (m *Message) Bytes(namespace, name string) []byte {
 func (m *Message) ReplaceElement(e Element) {
 	for i := range m.elements {
 		if m.elements[i].Namespace == e.Namespace && m.elements[i].Name == e.Name {
+			m.ownElements(1)
 			m.elements[i] = e
 			return
 		}
@@ -160,6 +213,7 @@ func (m *Message) ReplaceElement(e Element) {
 func (m *Message) RemoveElement(namespace, name string) bool {
 	for i := range m.elements {
 		if m.elements[i].Namespace == namespace && m.elements[i].Name == name {
+			m.ownElements(0)
 			m.elements = append(m.elements[:i], m.elements[i+1:]...)
 			return true
 		}
@@ -190,30 +244,38 @@ func (m *Message) Visited(peer jid.ID) bool {
 
 // Stamp appends peer to the path and decrements the TTL. It reports false
 // if the TTL was already exhausted or the peer had been visited, in which
-// case the message must not be forwarded.
+// case the message must not be forwarded. The path slice is pre-sized
+// from the remaining TTL, so a full-TTL traversal reallocates at most
+// once.
 func (m *Message) Stamp(peer jid.ID) bool {
 	if m.TTL == 0 || m.Visited(peer) {
 		return false
 	}
 	m.TTL--
+	if cap(m.Path) == len(m.Path) {
+		p := make([]jid.ID, len(m.Path), len(m.Path)+int(m.TTL)+1)
+		copy(p, m.Path)
+		m.Path = p
+	}
 	m.Path = append(m.Path, peer)
 	return true
 }
 
-// Dup returns a deep copy of the message, including payload bytes. The
-// copy keeps the same message ID: duplicate suppression must treat a
+// Dup returns a copy of the message that may be mutated independently.
+// The copy keeps the same message ID: duplicate suppression must treat a
 // re-sent message as the same logical event, as JXTA's msg.dup() does.
+//
+// Dup is O(1) in the payload: elements are shared copy-on-write between
+// the original and the copy (see the package comment), so duplicating a
+// message costs two small allocations regardless of how many kilobytes
+// its payload elements hold. Only the path — the per-hop mutable state —
+// is copied eagerly, pre-sized so Stamp never reallocates it.
 func (m *Message) Dup() *Message {
-	out := &Message{ID: m.ID, Src: m.Src, TTL: m.TTL}
-	out.Path = append([]jid.ID(nil), m.Path...)
-	out.elements = make([]Element, len(m.elements))
-	for i, e := range m.elements {
-		out.elements[i] = Element{
-			Namespace: e.Namespace,
-			Name:      e.Name,
-			MimeType:  e.MimeType,
-			Data:      append([]byte(nil), e.Data...),
-		}
+	m.cow = true
+	out := &Message{ID: m.ID, Src: m.Src, TTL: m.TTL, elements: m.elements, cow: true}
+	if len(m.Path) > 0 {
+		out.Path = make([]jid.ID, len(m.Path), len(m.Path)+int(m.TTL)+1)
+		copy(out.Path, m.Path)
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -124,7 +125,7 @@ func TestStampAndVisited(t *testing.T) {
 	}
 }
 
-func TestDupIsDeep(t *testing.T) {
+func TestDupIsIndependent(t *testing.T) {
 	m := testMsg()
 	m.Stamp(jid.FromSeed(jid.KindPeer, 9))
 	d := m.Dup()
@@ -134,15 +135,165 @@ func TestDupIsDeep(t *testing.T) {
 	if !reflect.DeepEqual(d.Elements(), m.Elements()) {
 		t.Fatal("Dup elements differ")
 	}
-	d.Bytes("app", "payload")[0] = 99
+	// Payload bytes are intentionally shared read-only between a message
+	// and its Dups; independence holds for every mutator.
+	d.ReplaceElement(Element{Namespace: "app", Name: "payload", Data: []byte{99}})
 	if m.Bytes("app", "payload")[0] == 99 {
-		t.Fatal("Dup shares payload bytes")
+		t.Fatal("ReplaceElement on dup leaked into original")
 	}
 	d.Path[0] = jid.FromSeed(jid.KindPeer, 1000)
 	if m.Path[0] == d.Path[0] {
 		t.Fatal("Dup shares path slice")
 	}
 }
+
+// TestDupCopyOnWrite pins the COW contract element-by-element: every
+// mutator on any copy leaves the original and all sibling copies exactly
+// as they were.
+func TestDupCopyOnWrite(t *testing.T) {
+	m := testMsg()
+	before := m.Elements()
+
+	d1, d2 := m.Dup(), m.Dup()
+	d1.ReplaceElement(Element{Namespace: "wire", Name: "seq", Data: []byte("changed")})
+	d2.AddElement(Element{Namespace: "x", Name: "extra", Data: []byte("e")})
+	if !reflect.DeepEqual(m.Elements(), before) {
+		t.Fatal("mutating dups changed the original")
+	}
+	if string(d2.Bytes("wire", "seq")) != "42" {
+		t.Fatal("d1's ReplaceElement leaked into sibling d2")
+	}
+	if _, ok := d1.Element("x", "extra"); ok {
+		t.Fatal("d2's AddElement leaked into sibling d1")
+	}
+
+	// Mutating the ORIGINAL after Dup must not leak into live copies.
+	d3 := m.Dup()
+	m.RemoveElement("app", "payload")
+	if d3.Bytes("app", "payload") == nil {
+		t.Fatal("RemoveElement on original leaked into dup")
+	}
+	m.AddElement(Element{Namespace: "y", Name: "late", Data: []byte("l")})
+	if _, ok := d3.Element("y", "late"); ok {
+		t.Fatal("AddElement on original leaked into dup")
+	}
+}
+
+// TestDupStampIndependent verifies per-hop path state stays private: a
+// forwarding hop stamping its copy never alters the sender's path, and
+// sibling hops stamping concurrently-shaped copies do not see each other.
+func TestDupStampIndependent(t *testing.T) {
+	m := testMsg()
+	m.Stamp(jid.FromSeed(jid.KindPeer, 1))
+	f1, f2 := m.Dup(), m.Dup()
+	if !f1.Stamp(jid.FromSeed(jid.KindPeer, 2)) || !f2.Stamp(jid.FromSeed(jid.KindPeer, 3)) {
+		t.Fatal("stamp on dup failed")
+	}
+	if len(m.Path) != 1 {
+		t.Fatalf("original path grew: %v", m.Path)
+	}
+	if f1.Visited(jid.FromSeed(jid.KindPeer, 3)) || f2.Visited(jid.FromSeed(jid.KindPeer, 2)) {
+		t.Fatal("sibling stamps aliased")
+	}
+	if m.TTL != DefaultTTL-1 || f1.TTL != DefaultTTL-2 {
+		t.Fatalf("TTL not per-copy: m=%d f1=%d", m.TTL, f1.TTL)
+	}
+}
+
+// TestDupStampNoRealloc pins the path pre-sizing: once a dup's path has
+// been allocated by its first Stamp, a full-TTL traversal appends in
+// place.
+func TestDupStampNoRealloc(t *testing.T) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	if !m.Stamp(jid.FromSeed(jid.KindPeer, 2)) {
+		t.Fatal("first stamp failed")
+	}
+	base := &m.Path[0]
+	for i := 0; m.TTL > 0; i++ {
+		if !m.Stamp(jid.FromSeed(jid.KindPeer, uint64(10+i))) {
+			t.Fatal("stamp within TTL failed")
+		}
+	}
+	if &m.Path[0] != base {
+		t.Fatal("full-TTL traversal reallocated the path")
+	}
+	if len(m.Path) != DefaultTTL {
+		t.Fatalf("path length %d, want %d", len(m.Path), DefaultTTL)
+	}
+}
+
+// TestConcurrentFanOutMutation is the -race aliasing gate: one published
+// message fans out to many goroutines, each Dup-ing its own envelope and
+// rewriting the pipe-ID element plus stamping, exactly like the
+// wire→rendezvous path does per hop. No mutation may reach a sibling or
+// the publisher's message.
+func TestConcurrentFanOutMutation(t *testing.T) {
+	m := testMsg()
+	m.AddElement(Element{Namespace: "wire", Name: "ID", Data: []byte("original")})
+	// All Dups are taken sequentially (the ownership contract), the
+	// mutations then race against concurrent readers of the original.
+	const fan = 16
+	dups := make([]*Message, fan)
+	for i := range dups {
+		dups[i] = m.Dup()
+	}
+	var wg sync.WaitGroup
+	for i, d := range dups {
+		wg.Add(1)
+		go func(i int, d *Message) {
+			defer wg.Done()
+			d.ReplaceElement(Element{Namespace: "wire", Name: "ID", Data: []byte{byte(i)}})
+			d.Stamp(jid.FromSeed(jid.KindPeer, uint64(100+i)))
+			if got := d.Bytes("wire", "ID"); len(got) != 1 || got[0] != byte(i) {
+				t.Errorf("dup %d sees foreign pipe ID %v", i, got)
+			}
+		}(i, d)
+	}
+	// Concurrent readers of the shared original while siblings mutate.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if got := string(m.Bytes("wire", "ID")); got != "original" {
+					t.Errorf("publisher's message mutated: %q", got)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, d := range dups {
+		if got := d.Bytes("wire", "ID"); len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("after join, dup %d has pipe ID %v", i, got)
+		}
+		if len(d.Path) != 1 {
+			t.Fatalf("dup %d path %v", i, d.Path)
+		}
+	}
+	if got := string(m.Bytes("wire", "ID")); got != "original" {
+		t.Fatalf("publisher's message mutated: %q", got)
+	}
+	if len(m.Path) != 0 {
+		t.Fatalf("publisher's path grew: %v", m.Path)
+	}
+}
+
+// TestDupAllocBudget keeps Dup O(1): duplicating a message with a
+// multi-kilobyte payload must cost at most two small allocations (the
+// struct and the path copy), never a payload copy.
+func TestDupAllocBudget(t *testing.T) {
+	m := New(jid.FromSeed(jid.KindPeer, 1))
+	m.AddBytes("bench", "payload", make([]byte, 1910))
+	m.Stamp(jid.FromSeed(jid.KindPeer, 2))
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = m.Dup()
+	})
+	if allocs > 2 {
+		t.Errorf("Dup allocates %.1f/op, budget is 2 (struct + path)", allocs)
+	}
+}
+
+var sink *Message
 
 func TestMarshalRoundTrip(t *testing.T) {
 	m := testMsg()

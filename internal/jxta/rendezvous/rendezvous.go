@@ -312,6 +312,9 @@ func (s *Service) AwaitConnected(timeout time.Duration) bool {
 // delivered to — callers decide whether to loop back. Returns ErrNoPeers
 // if there was nobody to send to.
 func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
+	// Dup is an O(1) copy-on-write header copy: the caller's payload
+	// elements are shared read-only, and the first ReplaceElement below
+	// clones only the element headers before writing the rdv envelope.
 	out := msg.Dup()
 	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemOp, Data: []byte(opProp)})
 	out.ReplaceElement(message.Element{Namespace: elemNS, Name: elemDSvc, Data: []byte(dsvc)})
@@ -341,25 +344,33 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 		addr endpoint.Address
 	}
 	targets := make([]target, 0, len(s.clients)+len(s.rdvs))
-	seenIDs := make(map[jid.ID]struct{}, len(s.clients)+len(s.rdvs))
-	for k, e := range s.clients {
-		// Group scoping: a client leased for group X must not receive
-		// group Y traffic. Wildcard entries ("") are mesh peers that
-		// forward everything.
-		if e.param != "" && param != "" && e.param != param {
-			continue
+	// The dedupe map only matters when client leases exist: one peer may
+	// lease for several groups, or lease while also being a rendezvous we
+	// connect to. Pure mesh forwarding (no clients — every edge peer, and
+	// rendezvous between lease arrivals) skips the allocation; reads from
+	// the nil map below are safe and always miss.
+	var seenIDs map[jid.ID]struct{}
+	if len(s.clients) > 0 {
+		seenIDs = make(map[jid.ID]struct{}, len(s.clients)+len(s.rdvs))
+		for k, e := range s.clients {
+			// Group scoping: a client leased for group X must not receive
+			// group Y traffic. Wildcard entries ("") are mesh peers that
+			// forward everything.
+			if e.param != "" && param != "" && e.param != param {
+				continue
+			}
+			if _, dup := seenIDs[k.id]; dup {
+				continue
+			}
+			seenIDs[k.id] = struct{}{}
+			targets = append(targets, target{k.id, e.addr})
 		}
-		if _, dup := seenIDs[k.id]; dup {
-			continue
-		}
-		seenIDs[k.id] = struct{}{}
-		targets = append(targets, target{k.id, e.addr})
 	}
 	for id, e := range s.rdvs {
+		// IDs are unique within rdvs; only a client/rdv overlap can dup.
 		if _, dup := seenIDs[id]; dup {
 			continue
 		}
-		seenIDs[id] = struct{}{}
 		targets = append(targets, target{id, e.addr})
 	}
 	s.mu.Unlock()
@@ -482,6 +493,8 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 	if s.cfg.Role != RoleRendezvous {
 		return
 	}
+	// COW Dup: forwarding deeper shares the delivered message's elements;
+	// only the per-hop path/TTL state is copied before stamping.
 	fwd := msg.Dup()
 	if !fwd.Stamp(s.ep.PeerID()) {
 		return

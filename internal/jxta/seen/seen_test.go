@@ -2,6 +2,7 @@ package seen
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -124,6 +125,124 @@ func TestConcurrentObserve(t *testing.T) {
 	// Exactly one goroutine wins "new" per ID.
 	if total != ids {
 		t.Fatalf("total new observations = %d, want %d", total, ids)
+	}
+}
+
+// TestShardedConcurrentObserve exercises the striped configuration (a
+// capacity large enough for multiple shards) with parallel observers:
+// every ID must be reported new exactly once across all goroutines, with
+// no lost dedupes on any stripe.
+func TestShardedConcurrentObserve(t *testing.T) {
+	c := New(WithCapacity(1 << 16))
+	const goroutines = 8
+	const ids = 4096
+	var news atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the ID space from a different offset so
+			// shard locks genuinely interleave.
+			for i := 0; i < ids; i++ {
+				id := jid.FromSeed(jid.KindMessage, uint64((i+g*ids/goroutines)%ids))
+				if c.Observe(id) {
+					news.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if news.Load() != ids {
+		t.Fatalf("new observations = %d, want %d", news.Load(), ids)
+	}
+	if c.Len() != ids {
+		t.Fatalf("Len = %d, want %d", c.Len(), ids)
+	}
+	for i := 0; i < ids; i++ {
+		if !c.Seen(jid.FromSeed(jid.KindMessage, uint64(i))) {
+			t.Fatalf("id %d lost", i)
+		}
+	}
+}
+
+// TestShardedExpiryUnderLoad advances the clock while parallel observers
+// insert: expiry must never drop a live entry, and an expired ID must be
+// observable as new again.
+func TestShardedExpiryUnderLoad(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1, 0)}
+	c := New(WithCapacity(1<<16), WithTTL(time.Minute), WithClock(clk.now))
+	const old = 1024
+	for i := 0; i < old; i++ {
+		c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+	}
+	clk.advance(30 * time.Second)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 512; i++ {
+				c.Observe(jid.FromSeed(jid.KindMessage, uint64(10_000+g*512+i)))
+				if i%64 == 0 {
+					clk.advance(time.Millisecond) // concurrent expiry sweeps
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The old generation is still within TTL: nothing may have been lost.
+	for i := 0; i < old; i++ {
+		if !c.Seen(jid.FromSeed(jid.KindMessage, uint64(i))) {
+			t.Fatalf("live entry %d lost during concurrent sweeps", i)
+		}
+	}
+	clk.advance(time.Minute)
+	if !c.Observe(jid.FromSeed(jid.KindMessage, 1)) {
+		t.Fatal("expired ID not new again")
+	}
+}
+
+// TestShardedCapacityBound floods a striped cache far past capacity from
+// several goroutines: the live count must stay within the configured
+// bound.
+func TestShardedCapacityBound(t *testing.T) {
+	const capacity = 4096
+	c := New(WithCapacity(capacity))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < capacity; i++ {
+				c.Observe(jid.FromSeed(jid.KindMessage, uint64(g*capacity+i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", got, capacity)
+	}
+	if got := c.Len(); got < capacity/2 {
+		t.Fatalf("Len = %d suspiciously low after flood (capacity %d)", got, capacity)
+	}
+}
+
+// TestObserveSteadyStateAllocs pins the allocation-free ring design:
+// once a shard's ring and map have warmed up, the Observe cycle
+// (insert + evict) must not allocate.
+func TestObserveSteadyStateAllocs(t *testing.T) {
+	c := New(WithCapacity(1024))
+	for i := 0; i < 4096; i++ { // warm every shard past its ring size
+		c.Observe(jid.FromSeed(jid.KindMessage, uint64(i)))
+	}
+	n := uint64(1 << 20)
+	allocs := testing.AllocsPerRun(2000, func() {
+		n++
+		c.Observe(jid.FromSeed(jid.KindMessage, n))
+	})
+	if allocs > 0.1 {
+		t.Errorf("steady-state Observe allocates %.2f/op, want 0", allocs)
 	}
 }
 

@@ -7,7 +7,12 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/message"
 )
 
-// Listener consumes messages arriving on a wire input pipe.
+// Listener consumes messages arriving on a wire input pipe. The
+// delivered message is the listener's to keep, but its element payloads
+// may be shared copy-on-write with copies still in flight (the local
+// loopback shares bytes with the copy being propagated into the mesh):
+// listeners may Add/Replace/Remove elements on their copy, but must
+// never modify element payload bytes in place.
 type Listener func(msg *message.Message)
 
 // InputPipe is a peer's receiving end of a propagated pipe.

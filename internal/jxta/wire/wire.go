@@ -200,6 +200,10 @@ func (s *Service) send(id jid.ID, msg *message.Message) error {
 	s.mu.Unlock()
 	s.stats.sent.Add(1)
 
+	// COW envelope: Dup shares the caller's elements (the message may be
+	// fanning out across many attachments) and ReplaceID clones only the
+	// element headers before writing this pipe's ID. What used to be a
+	// deep copy of the payload per attachment is now O(1).
 	out := msg.Dup()
 	out.ReplaceID(elemNS, elemID, id)
 	// Mark our own message as seen so a mesh echo is not re-delivered.
@@ -207,7 +211,10 @@ func (s *Service) send(id jid.ID, msg *message.Message) error {
 		s.seen.Observe(out.ID)
 	}
 	// Local loopback first: a peer subscribing to its own wire hears
-	// itself regardless of mesh connectivity.
+	// itself regardless of mesh connectivity. The loopback Dup (also
+	// O(1)) isolates element-list mutations on the delivered copy from
+	// the copy still headed into the mesh; payload BYTES are shared —
+	// the Listener contract forbids mutating them in place.
 	if in != nil {
 		s.stats.received.Add(1)
 		in.deliver(out.Dup())

@@ -2,6 +2,7 @@ package srapp_test
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,6 +22,26 @@ import (
 
 func testOffer() srapp.SkiRental {
 	return srapp.SkiRental{Shop: "XTremShop", Brand: "Salomon", Price: 14, NumberOfDays: 100}
+}
+
+// syncBuffer is a concurrency-safe console sink: the subscriber callback
+// writes from the delivery goroutine (and a duplicate-path echo may still
+// be in flight) while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Snapshot() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
 }
 
 func newWAN(t *testing.T) *netsim.Network {
@@ -57,7 +78,7 @@ func TestSRTPSEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(customer.Close)
-	var console bytes.Buffer
+	var console syncBuffer
 	if err := customer.SubscribeConsole(&console); err != nil {
 		t.Fatal(err)
 	}
@@ -86,8 +107,8 @@ func TestSRTPSEndToEnd(t *testing.T) {
 	if len(shop.Sent()) != 1 {
 		t.Fatalf("Sent = %d", len(shop.Sent()))
 	}
-	if !bytes.Contains(console.Bytes(), []byte("XTremShop")) {
-		t.Fatalf("console output %q", console.String())
+	if out := console.Snapshot(); !bytes.Contains(out, []byte("XTremShop")) {
+		t.Fatalf("console output %q", out)
 	}
 	if len(customer.Errors()) != 0 {
 		t.Fatalf("errors: %v", customer.Errors())
