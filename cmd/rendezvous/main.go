@@ -78,9 +78,13 @@ func run(listen, seeds, name string, statsEvery time.Duration) error {
 		case <-ticker.C:
 			rs := daemon.Rendezvous.Stats()
 			es := p.Endpoint().Stats()
+			ts := tr.Stats()
 			fmt.Printf("clients=%d propagated=%d delivered=%d dup=%d | msgs in/out=%d/%d bytes in/out=%d/%d\n",
 				rs.LeasesActive, rs.Propagated, rs.Delivered, rs.Duplicates,
 				es.MsgsIn, es.MsgsOut, es.BytesIn, es.BytesOut)
+			fmt.Printf("  health: sendfail=%d suspect=%d probes=%d evicted=%d breaker-skips=%d seedfail=%d | tcp sent/dropped/requeued=%d/%d/%d dialfail=%d writefail=%d redials=%d\n",
+				rs.SendFailures, rs.Suspected, rs.Probes, rs.Evicted, rs.BreakerSkips, rs.SeedFailures,
+				ts.Sent, ts.Dropped, ts.Requeued, ts.DialFailures, ts.WriteFailures, ts.Redials)
 		case <-stop:
 			fmt.Println("shutting down")
 			return nil

@@ -1,0 +1,275 @@
+// Package chaos is a fault-injection harness for the rendezvous mesh.
+//
+// It assembles clusters of rendezvous and edge peers over netsim — whose
+// loss, jitter, bandwidth and partition knobs make wide-area failure
+// modes reproducible inside one process — and exposes the handful of
+// operations scenario tests need: build a topology, subscribe sinks,
+// publish, kill nodes, partition and heal. All randomness comes from the
+// cluster's seed, so a failing scenario replays deterministically.
+//
+// The scenario suite (chaos_test.go) is the executable form of the
+// failure model documented in ROBUSTNESS.md: partitions heal, slow
+// consumers stall only themselves, lossy links degrade delivery
+// proportionally, and dead peers are evicted behind a breaker.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+// GroupParam scopes every chaos cluster to one peer group.
+const GroupParam = "chaos"
+
+// Config tunes a cluster. Zero fields take the defaults below.
+type Config struct {
+	// Seed feeds netsim's deterministic randomness (loss, jitter).
+	Seed int64
+	// Link is the default link between all node pairs.
+	Link netsim.Link
+	// LeaseTTL for every rendezvous service (default 1500ms — fast
+	// enough that renewal/backoff behaviour shows inside a test).
+	LeaseTTL time.Duration
+	// SuspectAfter / EvictAfter / EvictCooldown configure failure
+	// detection on every peer (defaults 2 / 4 / 1500ms).
+	SuspectAfter  int
+	EvictAfter    int
+	EvictCooldown time.Duration
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultLeaseTTL      = 1500 * time.Millisecond
+	DefaultSuspectAfter  = 2
+	DefaultEvictAfter    = 4
+	DefaultEvictCooldown = 1500 * time.Millisecond
+)
+
+// Cluster is a simulated mesh of peers.
+type Cluster struct {
+	Net *netsim.Network
+	cfg Config
+
+	mu       sync.Mutex
+	peers    map[string]*Peer
+	nextSeed uint64
+}
+
+// Peer bundles one node's netsim, endpoint and rendezvous layers.
+type Peer struct {
+	Name string
+	Node *netsim.Node
+	EP   *endpoint.Service
+	Rdv  *rendezvous.Service
+}
+
+// New creates a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = DefaultEvictAfter
+	}
+	if cfg.EvictCooldown <= 0 {
+		cfg.EvictCooldown = DefaultEvictCooldown
+	}
+	if cfg.Link == (netsim.Link{}) {
+		cfg.Link = netsim.Link{Latency: time.Millisecond}
+	}
+	return &Cluster{
+		Net:   netsim.New(netsim.Config{Seed: cfg.Seed, DefaultLink: cfg.Link}),
+		cfg:   cfg,
+		peers: make(map[string]*Peer),
+	}
+}
+
+// AddRendezvous adds a rendezvous peer, optionally seeded with other
+// peers (by node name).
+func (c *Cluster) AddRendezvous(name string, seeds ...string) (*Peer, error) {
+	return c.add(name, rendezvous.RoleRendezvous, seeds, nil)
+}
+
+// AddEdge adds an edge peer leasing into the given seeds (by node name).
+func (c *Cluster) AddEdge(name string, seeds ...string) (*Peer, error) {
+	return c.add(name, rendezvous.RoleEdge, seeds, nil)
+}
+
+// AddSlowEdge adds an edge peer whose node needs perMsg processing time
+// for every delivery — a slow consumer that saturates under flood.
+func (c *Cluster) AddSlowEdge(name string, perMsg time.Duration, seeds ...string) (*Peer, error) {
+	return c.add(name, rendezvous.RoleEdge, seeds, []netsim.NodeOption{netsim.WithProcessing(perMsg, 0)})
+}
+
+func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []netsim.NodeOption) (*Peer, error) {
+	node, err := c.Net.AddNode(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextSeed++
+	idSeed := c.nextSeed
+	c.mu.Unlock()
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, idSeed))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		node.Close()
+		return nil, err
+	}
+	addrs := make([]endpoint.Address, len(seeds))
+	for i, s := range seeds {
+		addrs[i] = endpoint.MakeAddress("mem", s)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role:          role,
+		GroupParam:    GroupParam,
+		Seeds:         addrs,
+		LeaseTTL:      c.cfg.LeaseTTL,
+		SuspectAfter:  c.cfg.SuspectAfter,
+		EvictAfter:    c.cfg.EvictAfter,
+		EvictCooldown: c.cfg.EvictCooldown,
+	})
+	if err != nil {
+		_ = ep.Close()
+		node.Close()
+		return nil, err
+	}
+	p := &Peer{Name: name, Node: node, EP: ep, Rdv: rdv}
+	c.mu.Lock()
+	c.peers[name] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Peer returns a peer by name.
+func (c *Cluster) Peer(name string) (*Peer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[name]
+	return p, ok
+}
+
+// Kill abruptly closes a peer's network node, as a crashed process
+// would: no disconnect message, no lease teardown. The peer's services
+// are left running but unreachable; the rest of the mesh must detect the
+// failure on its own.
+func (c *Cluster) Kill(name string) {
+	c.mu.Lock()
+	p := c.peers[name]
+	delete(c.peers, name)
+	c.mu.Unlock()
+	if p != nil {
+		// Node first: with the node gone, the services' shutdown traffic
+		// (lease disconnects) never reaches the network, exactly as a
+		// crash would behave. Closing the services afterwards just stops
+		// their goroutines.
+		p.Node.Close()
+		p.Rdv.Close()
+		_ = p.EP.Close()
+	}
+}
+
+// Partition cuts every link crossing between the groups; Heal restores
+// everything.
+func (c *Cluster) Partition(groups ...[]string) { c.Net.Partition(groups...) }
+
+// Heal clears all partitions.
+func (c *Cluster) Heal() { c.Net.Heal() }
+
+// AwaitConnected waits for every named peer to hold a rendezvous lease.
+func (c *Cluster) AwaitConnected(timeout time.Duration, names ...string) error {
+	for _, name := range names {
+		p, ok := c.Peer(name)
+		if !ok {
+			return fmt.Errorf("chaos: unknown peer %q", name)
+		}
+		if !p.Rdv.AwaitConnected(timeout) {
+			return fmt.Errorf("chaos: %s never connected", name)
+		}
+	}
+	return nil
+}
+
+// Close tears the whole cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	peers := make([]*Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		peers = append(peers, p)
+	}
+	c.peers = map[string]*Peer{}
+	c.mu.Unlock()
+	for _, p := range peers {
+		p.Rdv.Close()
+		_ = p.EP.Close()
+	}
+	c.Net.Close()
+}
+
+// Publish propagates a small payload message to svc across the mesh.
+func (p *Peer) Publish(svc, body string) error {
+	m := message.New(p.EP.PeerID())
+	m.AddString("app", "body", body)
+	return p.Rdv.Propagate(m, svc, GroupParam)
+}
+
+// Sink collects messages delivered to one peer's service handler.
+type Sink struct {
+	mu   sync.Mutex
+	msgs []*message.Message
+}
+
+// Subscribe registers a sink for propagated messages addressed to svc.
+func (p *Peer) Subscribe(svc string) (*Sink, error) {
+	s := &Sink{}
+	err := p.EP.RegisterHandler(svc, GroupParam, func(msg *message.Message, _ endpoint.Address) {
+		s.mu.Lock()
+		s.msgs = append(s.msgs, msg)
+		s.mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Count returns how many messages arrived.
+func (s *Sink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+// Bodies returns the "app"/"body" text of every received message.
+func (s *Sink) Bodies() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.msgs))
+	for _, m := range s.msgs {
+		out = append(out, m.Text("app", "body"))
+	}
+	return out
+}
+
+// WaitCount polls until at least n messages arrived or the timeout
+// elapses; it reports success.
+func (s *Sink) WaitCount(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.Count() < n {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
+}

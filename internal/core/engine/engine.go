@@ -104,6 +104,10 @@ type Stats struct {
 	Delivered       int64
 	DuplicateEvents int64
 	DecodeErrors    int64
+	// PublishErrors counts per-attachment publish failures (wire send or
+	// mesh propagation errored). A Publish call across several attached
+	// groups can partially fail; each failing attachment counts once.
+	PublishErrors   int64
 	AttachmentsLive int
 	AdvsCreated     int64
 	AdvsFound       int64
@@ -115,6 +119,7 @@ type engineCounters struct {
 	delivered       atomic.Int64
 	duplicateEvents atomic.Int64
 	decodeErrors    atomic.Int64
+	publishErrors   atomic.Int64
 	advsCreated     atomic.Int64
 	advsFound       atomic.Int64
 }
@@ -178,6 +183,7 @@ func (e *Engine) Stats() Stats {
 		Delivered:       e.stats.delivered.Load(),
 		DuplicateEvents: e.stats.duplicateEvents.Load(),
 		DecodeErrors:    e.stats.decodeErrors.Load(),
+		PublishErrors:   e.stats.publishErrors.Load(),
 		AdvsCreated:     e.stats.advsCreated.Load(),
 		AdvsFound:       e.stats.advsFound.Load(),
 	}
@@ -266,6 +272,7 @@ func (e *Engine) Publish(event any) error {
 	sent := 0
 	for _, a := range atts {
 		if err := a.publish(msg); err != nil {
+			e.stats.publishErrors.Add(1)
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -114,6 +114,7 @@ type Stats struct {
 	LastOutgoing  time.Time
 	NoHandlerDrop int64
 	DecodeErrors  int64
+	SendErrors    int64
 }
 
 // Uptime returns how long the endpoint has been running.
@@ -131,6 +132,7 @@ type epCounters struct {
 	lastOutgoing  atomic.Int64
 	noHandlerDrop atomic.Int64
 	decodeErrors  atomic.Int64
+	sendErrors    atomic.Int64
 }
 
 func (c *epCounters) countOut(bytes int) {
@@ -303,6 +305,7 @@ func (s *Service) SendFrame(to Address, frame []byte) error {
 		return fmt.Errorf("%w: %q (to %s)", ErrNoTransport, to.Scheme(), to)
 	}
 	if err := t.Send(to, frame); err != nil {
+		s.stats.sendErrors.Add(1)
 		return fmt.Errorf("endpoint: send to %s: %w", to, err)
 	}
 	s.stats.countOut(len(frame))
@@ -373,6 +376,7 @@ func (s *Service) Stats() Stats {
 		BytesOut:      s.stats.bytesOut.Load(),
 		NoHandlerDrop: s.stats.noHandlerDrop.Load(),
 		DecodeErrors:  s.stats.decodeErrors.Load(),
+		SendErrors:    s.stats.sendErrors.Load(),
 	}
 	if ns := s.stats.lastIncoming.Load(); ns != 0 {
 		st.LastIncoming = time.Unix(0, ns)

@@ -22,6 +22,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/retry"
 )
 
 // ServiceName is the endpoint service name of the rendezvous protocol.
@@ -43,6 +44,8 @@ const (
 	opLease      = "lease"
 	opDisconnect = "disconnect"
 	opProp       = "prop"
+	opPing       = "ping"
+	opPong       = "pong"
 )
 
 // Role of a peer in the rendezvous protocol.
@@ -98,29 +101,72 @@ type Config struct {
 	LeaseTTL time.Duration
 	// Clock substitutes the time source (tests). Nil means time.Now.
 	Clock func() time.Time
+	// SuspectAfter is the number of consecutive send failures after
+	// which a peer is marked suspect and probed with a ping. Zero means
+	// DefaultSuspectAfter.
+	SuspectAfter int
+	// EvictAfter is the number of consecutive send failures after which
+	// a peer is evicted from the connection tables and its address
+	// breaker opens. Zero means DefaultEvictAfter.
+	EvictAfter int
+	// EvictCooldown is how long an evicted address stays behind the
+	// breaker before sends and seed reconnects may resume. Zero means
+	// DefaultEvictCooldown.
+	EvictCooldown time.Duration
+	// SeedBackoff shapes the retry curve for unreachable seeds. Zero
+	// fields use retry defaults with Max capped at the lease TTL.
+	SeedBackoff retry.Policy
 }
 
 // DefaultLeaseTTL is the lease duration granted by rendezvous peers.
 const DefaultLeaseTTL = 30 * time.Second
 
+// Failure-detection defaults.
+const (
+	DefaultSuspectAfter  = 2
+	DefaultEvictAfter    = 4
+	DefaultEvictCooldown = 30 * time.Second
+	// seedFailFastAfter is the consecutive connect failures per seed
+	// after which AwaitConnected gives up early: every seed has been
+	// tried at least twice and the transport rejected each attempt.
+	seedFailFastAfter = 2
+)
+
 // ErrNoPeers is returned by Propagate when no rendezvous or clients are
 // connected, meaning the message reached nobody.
 var ErrNoPeers = errors.New("rendezvous: no connected peers")
+
+// ErrAllSendsFailed is returned by Propagate when peers were connected
+// but every send to them failed: the message reached nobody, and unlike
+// ErrNoPeers the mesh thinks it exists — a partition or mass failure.
+var ErrAllSendsFailed = errors.New("rendezvous: all sends failed")
 
 // Stats counts rendezvous activity.
 type Stats struct {
 	Propagated   int64 // messages this peer injected or forwarded
 	Delivered    int64 // propagated messages delivered to local services
 	Duplicates   int64 // propagated messages dropped by the seen-cache
+	SendFailures int64 // per-peer propagation sends that errored
+	SeedFailures int64 // seed connect attempts rejected by the transport
+	Suspected    int64 // peers marked suspect after consecutive failures
+	Probes       int64 // ping probes sent to suspect peers
+	Evicted      int64 // peers evicted after sustained failure
+	BreakerSkips int64 // sends/redials skipped while a breaker was open
 	LeasesActive int   // currently connected clients (rendezvous role)
 }
 
 // rdvCounters is the lock-free internal form of Stats: the propagation
 // hot path bumps these without taking s.mu.
 type rdvCounters struct {
-	propagated atomic.Int64
-	delivered  atomic.Int64
-	duplicates atomic.Int64
+	propagated   atomic.Int64
+	delivered    atomic.Int64
+	duplicates   atomic.Int64
+	sendFailures atomic.Int64
+	seedFailures atomic.Int64
+	suspected    atomic.Int64
+	probes       atomic.Int64
+	evicted      atomic.Int64
+	breakerSkips atomic.Int64
 }
 
 type peerEntry struct {
@@ -139,19 +185,40 @@ type clientKey struct {
 	param string
 }
 
+// healthState tracks delivery failures per address. Addresses — not
+// peer IDs — are the unit of reachability: they are what sends go to and
+// what seed reconnects dial.
+type healthState struct {
+	fails       int       // consecutive send failures
+	suspect     bool      // crossed SuspectAfter; being probed
+	bannedUntil time.Time // breaker: evicted, no contact until then
+}
+
+// seedState throttles (re)connect attempts to one configured seed.
+type seedState struct {
+	fails int       // consecutive connect-send failures
+	next  time.Time // do not retry before this instant
+}
+
 // Service is one peer's rendezvous protocol instance for one group.
 type Service struct {
-	ep    Endpoint
-	cfg   Config
-	now   func() time.Time
-	seen  *seen.Cache
-	lease time.Duration
-	stats rdvCounters
+	ep           Endpoint
+	cfg          Config
+	now          func() time.Time
+	seen         *seen.Cache
+	lease        time.Duration
+	suspectAfter int
+	evictAfter   int
+	cooldown     time.Duration
+	seedPolicy   retry.Policy
+	stats        rdvCounters
 
 	mu      sync.Mutex
 	clients map[clientKey]peerEntry // connected to us (rendezvous role)
 	rdvs    map[jid.ID]peerEntry    // we are connected to them (granted leases)
-	conn    *sync.Cond // signals rdvs-set changes
+	health  map[endpoint.Address]*healthState
+	seeds   []seedState // parallel to cfg.Seeds
+	conn    *sync.Cond  // signals rdvs-set and seed-failure changes
 	closed  bool
 
 	wg   sync.WaitGroup
@@ -173,23 +240,50 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 	if lease == 0 {
 		lease = DefaultLeaseTTL
 	}
+	suspectAfter := cfg.SuspectAfter
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	evictAfter := cfg.EvictAfter
+	if evictAfter <= 0 {
+		evictAfter = DefaultEvictAfter
+	}
+	if evictAfter <= suspectAfter {
+		evictAfter = suspectAfter + 1
+	}
+	cooldown := cfg.EvictCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultEvictCooldown
+	}
+	seedPolicy := cfg.SeedBackoff
+	if seedPolicy == (retry.Policy{}) {
+		seedPolicy = retry.Policy{Max: lease}
+	}
 	s := &Service{
-		ep:      ep,
-		cfg:     cfg,
-		now:     now,
-		seen:    seen.New(),
-		lease:   lease,
-		clients: make(map[clientKey]peerEntry),
-		rdvs:    make(map[jid.ID]peerEntry),
-		stop:    make(chan struct{}),
+		ep:           ep,
+		cfg:          cfg,
+		now:          now,
+		seen:         seen.New(),
+		lease:        lease,
+		suspectAfter: suspectAfter,
+		evictAfter:   evictAfter,
+		cooldown:     cooldown,
+		seedPolicy:   seedPolicy,
+		clients:      make(map[clientKey]peerEntry),
+		rdvs:         make(map[jid.ID]peerEntry),
+		health:       make(map[endpoint.Address]*healthState),
+		seeds:        make([]seedState, len(cfg.Seeds)),
+		stop:         make(chan struct{}),
 	}
 	s.conn = sync.NewCond(&s.mu)
 	if err := ep.RegisterHandler(ServiceName, cfg.GroupParam, s.handle); err != nil {
 		return nil, fmt.Errorf("rendezvous: register handler: %w", err)
 	}
-	if len(cfg.Seeds) > 0 {
+	// Seeded peers maintain leases; rendezvous additionally probe their
+	// suspects even when they have no seeds of their own.
+	if len(cfg.Seeds) > 0 || cfg.Role == RoleRendezvous {
 		s.wg.Add(1)
-		go s.leaseLoop()
+		go s.maintainLoop()
 	}
 	return s, nil
 }
@@ -271,9 +365,15 @@ func (s *Service) DirectAddress(id jid.ID) (endpoint.Address, bool) {
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Propagated: s.stats.propagated.Load(),
-		Delivered:  s.stats.delivered.Load(),
-		Duplicates: s.stats.duplicates.Load(),
+		Propagated:   s.stats.propagated.Load(),
+		Delivered:    s.stats.delivered.Load(),
+		Duplicates:   s.stats.duplicates.Load(),
+		SendFailures: s.stats.sendFailures.Load(),
+		SeedFailures: s.stats.seedFailures.Load(),
+		Suspected:    s.stats.suspected.Load(),
+		Probes:       s.stats.probes.Load(),
+		Evicted:      s.stats.evicted.Load(),
+		BreakerSkips: s.stats.breakerSkips.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -284,7 +384,10 @@ func (s *Service) Stats() Stats {
 
 // AwaitConnected blocks until this peer holds a lease with at least one
 // rendezvous, or the timeout elapses. It reports success. Peers with no
-// seeds are never "connected".
+// seeds are never "connected". It fails fast — without spinning out the
+// timeout — once every configured seed has rejected at least
+// seedFailFastAfter consecutive connect attempts at the transport layer
+// (all seeds unreachable).
 func (s *Service) AwaitConnected(timeout time.Duration) bool {
 	deadline := s.now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
@@ -303,8 +406,31 @@ func (s *Service) AwaitConnected(timeout time.Duration) bool {
 		if s.closed || !s.now().Before(deadline) {
 			return false
 		}
+		if s.allSeedsUnreachableLocked() {
+			return false
+		}
 		s.conn.Wait()
 	}
+}
+
+// allSeedsUnreachableLocked reports whether every configured seed has
+// accumulated enough consecutive transport-level connect failures to be
+// considered unreachable.
+func (s *Service) allSeedsUnreachableLocked() bool {
+	if len(s.seeds) == 0 {
+		return false
+	}
+	now := s.now()
+	for i := range s.seeds {
+		if s.seeds[i].fails >= seedFailFastAfter {
+			continue
+		}
+		if h := s.health[s.cfg.Seeds[i]]; h != nil && now.Before(h.bannedUntil) {
+			continue // evicted and cooling down counts as unreachable
+		}
+		return false
+	}
+	return true
 }
 
 // Propagate fans msg out into the mesh, addressed to the (dsvc, dparam)
@@ -325,20 +451,27 @@ func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
 	// Remember our own injection so the mesh echo is dropped.
 	s.seen.Observe(out.ID)
 
-	n := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
+	attempted, failed := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
 	s.stats.propagated.Add(1)
-	if n == 0 {
+	if attempted == 0 {
 		return ErrNoPeers
+	}
+	if failed == attempted {
+		return fmt.Errorf("%w (%d peers)", ErrAllSendsFailed, failed)
 	}
 	return nil
 }
 
 // fanOut sends the stamped message to every connected peer in the given
-// group except the one it came from and any peer already on its path.
-// It returns the number of sends attempted.
-func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int {
+// group except the one it came from, any peer already on its path, and
+// any address whose eviction breaker is still open. It returns how many
+// sends were attempted and how many of those failed, so callers can
+// tell "nobody to send to" apart from "everybody unreachable". Failed
+// sends feed the suspect/evict failure accounting.
+func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) (attempted, failed int) {
 	s.mu.Lock()
 	s.expireLocked()
+	now := s.now()
 	type target struct {
 		id   jid.ID
 		addr endpoint.Address
@@ -362,6 +495,10 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 			if _, dup := seenIDs[k.id]; dup {
 				continue
 			}
+			if h := s.health[e.addr]; h != nil && now.Before(h.bannedUntil) {
+				s.stats.breakerSkips.Add(1)
+				continue
+			}
 			seenIDs[k.id] = struct{}{}
 			targets = append(targets, target{k.id, e.addr})
 		}
@@ -371,6 +508,10 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 		if _, dup := seenIDs[id]; dup {
 			continue
 		}
+		if h := s.health[e.addr]; h != nil && now.Before(h.bannedUntil) {
+			s.stats.breakerSkips.Add(1)
+			continue
+		}
 		targets = append(targets, target{id, e.addr})
 	}
 	s.mu.Unlock()
@@ -378,7 +519,7 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 	// Marshal once: every target receives the identical frame, so the
 	// envelope-and-encode work must not be repeated per peer.
 	var frame []byte
-	n := 0
+	var probes []endpoint.Address
 	for _, t := range targets {
 		if t.id == except || msg.Visited(t.id) {
 			continue
@@ -386,16 +527,126 @@ func (s *Service) fanOut(msg *message.Message, except jid.ID, param string) int 
 		if frame == nil {
 			var err error
 			if frame, err = s.ep.EncodeFrame(ServiceName, param, msg); err != nil {
-				return 0
+				return 0, 0
 			}
 			defer endpoint.RecycleFrame(frame)
 		}
+		attempted++
 		if err := s.ep.SendFrame(t.addr, frame); err != nil {
-			continue // unreachable peers age out via lease expiry
+			// Unreachable peers age out via lease expiry; the failure
+			// accounting gets them suspected, probed and evicted sooner.
+			failed++
+			s.stats.sendFailures.Add(1)
+			if s.noteFailure(t.addr) {
+				probes = append(probes, t.addr)
+			}
+			continue
 		}
-		n++
+		s.noteSuccess(t.addr)
 	}
-	return n
+	// Probe outside the send loop: a probe is itself a send and must not
+	// distort this fan-out's accounting.
+	for _, addr := range probes {
+		s.probe(addr)
+	}
+	return attempted, failed
+}
+
+// noteFailure records a send failure against addr. It reports whether
+// the address just crossed the suspect threshold (the caller should
+// probe it). Crossing the evict threshold removes every client and
+// rendezvous entry behind the address and opens its breaker for the
+// cooldown, so dead peers are not redialed on every fan-out.
+func (s *Service) noteFailure(addr endpoint.Address) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	h := s.health[addr]
+	if h == nil {
+		h = &healthState{}
+		s.health[addr] = h
+	}
+	h.fails++
+	becameSuspect := false
+	if !h.suspect && h.fails >= s.suspectAfter {
+		h.suspect = true
+		s.stats.suspected.Add(1)
+		becameSuspect = true
+	}
+	if h.fails >= s.evictAfter {
+		s.evictLocked(addr, h)
+		return false
+	}
+	return becameSuspect
+}
+
+// noteSuccess clears any failure state for addr: proof of life resets
+// the suspect counter and closes the breaker.
+func (s *Service) noteSuccess(addr endpoint.Address) {
+	s.mu.Lock()
+	if _, ok := s.health[addr]; ok {
+		delete(s.health, addr)
+	}
+	s.mu.Unlock()
+}
+
+// evictLocked drops every connection-table entry behind addr and opens
+// the address's breaker for the cooldown.
+func (s *Service) evictLocked(addr endpoint.Address, h *healthState) {
+	for k, e := range s.clients {
+		if e.addr == addr {
+			delete(s.clients, k)
+		}
+	}
+	for id, e := range s.rdvs {
+		if e.addr == addr {
+			delete(s.rdvs, id)
+		}
+	}
+	h.fails = 0
+	h.suspect = false
+	h.bannedUntil = s.now().Add(s.cooldown)
+	s.stats.evicted.Add(1)
+}
+
+// probe sends a lightweight ping to a suspect address. A live peer
+// answers with a pong, which clears its failure state; a dead one keeps
+// accumulating failures until eviction.
+func (s *Service) probe(addr endpoint.Address) {
+	ping := message.New(s.ep.PeerID())
+	ping.AddString(elemNS, elemOp, opPing)
+	s.stats.probes.Add(1)
+	if err := s.ep.Send(addr, ServiceName, s.cfg.GroupParam, ping); err != nil {
+		s.stats.sendFailures.Add(1)
+		// noteFailure only reports a suspect transition once, so a
+		// failed probe advances toward eviction without re-probing.
+		_ = s.noteFailure(addr)
+	}
+}
+
+// probeSuspects pings every suspect address that is not behind an open
+// breaker. Called from the maintenance loop.
+func (s *Service) probeSuspects() {
+	s.mu.Lock()
+	now := s.now()
+	var addrs []endpoint.Address
+	for addr, h := range s.health {
+		if h.suspect && !now.Before(h.bannedUntil) {
+			addrs = append(addrs, addr)
+			continue
+		}
+		// Prune entries whose breaker expired with no fresh failures:
+		// the peer is gone and nothing references the address anymore.
+		if !h.suspect && h.fails == 0 && !h.bannedUntil.IsZero() && now.After(h.bannedUntil) {
+			delete(s.health, addr)
+		}
+	}
+	s.mu.Unlock()
+	for _, addr := range addrs {
+		s.probe(addr)
+	}
 }
 
 // handle processes rendezvous protocol messages.
@@ -409,7 +660,24 @@ func (s *Service) handle(msg *message.Message, from endpoint.Address) {
 		s.handleDisconnect(msg)
 	case opProp:
 		s.handleProp(msg, from)
+	case opPing:
+		s.handlePing(msg, from)
+	case opPong:
+		s.handlePong(from)
 	}
+}
+
+// handlePing answers a liveness probe. Any role answers: probing works
+// edge→rendezvous and rendezvous→client alike.
+func (s *Service) handlePing(msg *message.Message, from endpoint.Address) {
+	pong := message.New(s.ep.PeerID())
+	pong.AddString(elemNS, elemOp, opPong)
+	_ = s.ep.Send(from, ServiceName, s.incomingParam(msg), pong)
+}
+
+// handlePong clears the sender's failure state: the suspect is alive.
+func (s *Service) handlePong(from endpoint.Address) {
+	s.noteSuccess(from)
 }
 
 func (s *Service) handleConnect(msg *message.Message, from endpoint.Address) {
@@ -433,6 +701,9 @@ func (s *Service) handleConnect(msg *message.Message, from endpoint.Address) {
 		param:   param,
 	}
 	s.mu.Unlock()
+	// An inbound connect is proof of life: whatever suspicion (or stale
+	// eviction ban) the address carried is obsolete.
+	s.noteSuccess(from)
 
 	grant := message.New(s.ep.PeerID())
 	grant.AddString(elemNS, elemOp, opLease)
@@ -466,6 +737,8 @@ func (s *Service) handleLease(msg *message.Message, from endpoint.Address) {
 	}
 	s.conn.Broadcast()
 	s.mu.Unlock()
+	// A granted lease is proof of life for the rendezvous's address.
+	s.noteSuccess(from)
 }
 
 func (s *Service) handleDisconnect(msg *message.Message) {
@@ -503,8 +776,10 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 	s.fanOut(fwd, msg.Src, s.incomingParam(msg))
 }
 
-// leaseLoop keeps leases with seed rendezvous alive.
-func (s *Service) leaseLoop() {
+// maintainLoop keeps leases with seed rendezvous alive (renewing at a
+// third of the TTL, backing off per unreachable seed) and probes
+// suspect peers.
+func (s *Service) maintainLoop() {
 	defer s.wg.Done()
 	s.connectSeeds()
 	interval := s.lease / 3
@@ -517,20 +792,56 @@ func (s *Service) leaseLoop() {
 		select {
 		case <-ticker.C:
 			s.connectSeeds()
+			s.probeSuspects()
 		case <-s.stop:
 			return
 		}
 	}
 }
 
+// connectSeeds sends a connect (which doubles as lease renewal) to every
+// configured seed that is neither behind an eviction breaker nor inside
+// its failure backoff window. Transport-level failures are counted and
+// push the seed's next attempt out on the retry curve, instead of
+// hammering a dead seed on every tick.
 func (s *Service) connectSeeds() {
-	for _, seed := range s.cfg.Seeds {
+	for i, seed := range s.cfg.Seeds {
+		now := s.now()
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		if h := s.health[seed]; h != nil && now.Before(h.bannedUntil) {
+			s.mu.Unlock()
+			s.stats.breakerSkips.Add(1)
+			continue
+		}
+		if now.Before(s.seeds[i].next) {
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+
 		req := message.New(s.ep.PeerID())
 		req.AddString(elemNS, elemOp, opConnect)
 		if s.cfg.Role == RoleRendezvous {
 			req.AddString(elemNS, elemIsRdv, "true")
 		}
-		_ = s.ep.Send(seed, ServiceName, s.cfg.GroupParam, req)
+		err := s.ep.Send(seed, ServiceName, s.cfg.GroupParam, req)
+		s.mu.Lock()
+		if err != nil {
+			s.stats.seedFailures.Add(1)
+			s.seeds[i].fails++
+			s.seeds[i].next = now.Add(s.seedPolicy.Backoff(s.seeds[i].fails))
+			// Wake AwaitConnected so its all-seeds-unreachable check
+			// runs as soon as the evidence is in.
+			s.conn.Broadcast()
+		} else {
+			s.seeds[i].fails = 0
+			s.seeds[i].next = time.Time{}
+		}
+		s.mu.Unlock()
 	}
 }
 

@@ -3,6 +3,7 @@ package rendezvous_test
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -312,6 +313,128 @@ func TestTTLBoundsPropagationDepth(t *testing.T) {
 	}
 	if got := s.waitOne(t); got.Text("app", "body") != "long-ttl" {
 		t.Fatalf("got %q", got.Text("app", "body"))
+	}
+}
+
+func TestAwaitConnectedFailsFastWhenAllSeedsUnreachable(t *testing.T) {
+	// Seeds that point at nodes which do not exist fail at the transport
+	// on every connect attempt; AwaitConnected must give up once the
+	// evidence is conclusive instead of spinning out the full timeout.
+	c := newCluster(t)
+	e := c.addPeer("edge", 1, rendezvous.RoleEdge, "mem://ghost1", "mem://ghost2")
+	start := time.Now()
+	if e.rdv.AwaitConnected(30 * time.Second) {
+		t.Fatal("connected to nonexistent seeds")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("AwaitConnected spun for %v instead of failing fast", elapsed)
+	}
+	if st := e.rdv.Stats(); st.SeedFailures < 2 {
+		t.Fatalf("stats = %+v, want SeedFailures >= 2", st)
+	}
+}
+
+func TestLeaseExpiryUnderClockSkew(t *testing.T) {
+	// The rendezvous's clock jumps forward past the lease TTL (NTP step,
+	// VM resume): the client's lease expires from the rendezvous's point
+	// of view even though the client believes it is current. The
+	// client's steady renewals must then re-establish it.
+	c := newCluster(t)
+	var skew atomic.Int64 // extra time applied to the rendezvous clock, in ns
+	node, err := c.net.AddNode("rdv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, 1))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		t.Fatal(err)
+	}
+	const ttl = 2 * time.Second
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role:       rendezvous.RoleRendezvous,
+		GroupParam: "net",
+		LeaseTTL:   ttl,
+		Clock:      func() time.Time { return time.Now().Add(time.Duration(skew.Load())) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rdv.Close(); _ = ep.Close() })
+
+	e := c.addPeer("edge", 2, rendezvous.RoleEdge, "mem://rdv")
+	if !e.rdv.AwaitConnected(5 * time.Second) {
+		t.Fatal("edge never connected")
+	}
+	waitFor(t, func() bool { return len(rdv.ConnectedClients()) == 1 })
+
+	skew.Store(int64(2 * ttl))
+	if got := len(rdv.ConnectedClients()); got != 0 {
+		t.Fatalf("client survived a %v clock jump past its lease", 2*ttl)
+	}
+	// The edge renews at ttl/3; the renewal grants a fresh lease stamped
+	// with the skewed clock, so the client reappears.
+	waitFor(t, func() bool { return len(rdv.ConnectedClients()) == 1 })
+}
+
+func TestSuspectProbeRecovery(t *testing.T) {
+	// A one-way link failure makes rendezvous→edge sends fail while the
+	// edge's renewals still arrive. The edge must be marked suspect and
+	// probed — and once the link heals, the pong clears the suspicion
+	// without an eviction.
+	c := newCluster(t)
+	node, err := c.net.AddNode("rdv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := endpoint.New(jid.FromSeed(jid.KindPeer, 1))
+	if err := ep.AddTransport(memnet.New(node)); err != nil {
+		t.Fatal(err)
+	}
+	rdv, err := rendezvous.New(ep, rendezvous.Config{
+		Role:         rendezvous.RoleRendezvous,
+		GroupParam:   "net",
+		LeaseTTL:     time.Second,
+		SuspectAfter: 2,
+		EvictAfter:   50, // keep eviction out of this test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rdv.Close(); _ = ep.Close() })
+
+	pub := c.addPeer("pub", 2, rendezvous.RoleEdge, "mem://rdv")
+	sub := c.addPeer("sub", 3, rendezvous.RoleEdge, "mem://rdv")
+	if !pub.rdv.AwaitConnected(5*time.Second) || !sub.rdv.AwaitConnected(5*time.Second) {
+		t.Fatal("peers never connected")
+	}
+	sink := subscribe(t, sub, "app.events")
+
+	// Break only rdv → sub; renewals (sub → rdv) keep the lease alive.
+	c.net.SetLink("rdv", "sub", netsim.Link{Latency: time.Millisecond, Down: true})
+	for i := 0; i < 3; i++ {
+		m := message.New(pub.ep.PeerID())
+		m.AddBytes("app", "n", []byte{byte(i)})
+		if err := pub.rdv.Propagate(m, "app.events", "net"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitFor(t, func() bool { return rdv.Stats().Suspected >= 1 })
+	if st := rdv.Stats(); st.SendFailures == 0 || st.Probes == 0 {
+		t.Fatalf("stats = %+v, want send failures and a probe", st)
+	}
+
+	c.net.SetLink("rdv", "sub", netsim.Link{Latency: time.Millisecond})
+	// The maintenance loop re-probes the surviving suspect; the pong
+	// clears it and propagation flows again.
+	m := message.New(pub.ep.PeerID())
+	m.AddString("app", "body", "after-heal")
+	waitFor(t, func() bool {
+		_ = pub.rdv.Propagate(m.Dup(), "app.events", "net")
+		return sink.count() > 0
+	})
+	if st := rdv.Stats(); st.Evicted != 0 {
+		t.Fatalf("stats = %+v, want no evictions", st)
 	}
 }
 

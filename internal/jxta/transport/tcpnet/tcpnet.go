@@ -1,6 +1,14 @@
 // Package tcpnet is a real TCP transport for the endpoint layer, using
 // length-prefixed frames over persistent connections. It serves the
 // "tcp" address scheme ("tcp://host:port").
+//
+// Sending is asynchronous and failure-aware: each destination host gets
+// a bounded outbound queue drained by its own flusher goroutine, so one
+// stalled or dead peer sheds its own queue (drop-oldest) instead of
+// head-of-line-blocking every publisher. Dials are bounded by a timeout,
+// writes by a per-frame deadline, and redials back off exponentially; a
+// host that keeps failing opens a circuit breaker that fails sends fast
+// until the backoff cools down. Stats exposes what was shed and why.
 package tcpnet
 
 import (
@@ -10,8 +18,11 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/retry"
 )
 
 // Scheme is the address scheme served by this transport.
@@ -21,62 +32,112 @@ const Scheme = "tcp"
 // hostile peer and cause the connection to drop.
 const MaxFrame = 32 << 20
 
-// ErrClosed is returned by Send after Close.
-var ErrClosed = errors.New("tcpnet: transport closed")
+// Defaults substituted for zero Config fields.
+const (
+	DefaultDialTimeout  = 5 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultQueueLen     = 1024
+)
 
-// Transport is a TCP-backed endpoint transport.
-type Transport struct {
-	ln net.Listener
+// Errors.
+var (
+	// ErrClosed is returned by Send after Close.
+	ErrClosed = errors.New("tcpnet: transport closed")
+	// ErrPeerDown is returned by Send while a host's circuit breaker is
+	// open: the flusher failed to reach the peer and is backing off, so
+	// enqueuing more frames would only shed them later.
+	ErrPeerDown = errors.New("tcpnet: peer unreachable")
+)
 
-	mu       sync.Mutex
-	recv     func([]byte)
-	conns    map[string]*tconn // outbound connection cache, keyed by host:port
-	accepted map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+// Config tunes the transport's failure behaviour. The zero value uses
+// the defaults above.
+type Config struct {
+	// DialTimeout bounds each connection attempt.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write; a peer that stops reading
+	// long enough for the kernel buffers to fill fails the write instead
+	// of wedging the flusher forever.
+	WriteTimeout time.Duration
+	// QueueLen bounds each host's outbound queue in frames. When full,
+	// the oldest frame is shed (best-effort semantics: new data beats
+	// stale data) and counted in Stats.Dropped.
+	QueueLen int
+	// Backoff shapes the redial curve after dial or write failures.
+	Backoff retry.Policy
 }
 
-// tconn pairs a connection with a write mutex: concurrent Sends to one
-// host must not interleave their frame bytes.
-type tconn struct {
-	c   net.Conn
-	wmu sync.Mutex
+// Stats is a snapshot of transport activity.
+type Stats struct {
+	Enqueued      int64 // frames accepted into an outbound queue
+	Sent          int64 // frames written to a connection
+	Dropped       int64 // frames shed from a full queue (oldest first)
+	Requeued      int64 // frames put back after a dial/write failure
+	FailFast      int64 // sends rejected while a host breaker was open
+	DialFailures  int64 // connection attempts that failed
+	WriteFailures int64 // frame writes that failed or timed out
+	Redials       int64 // reconnects after an established conn died
+}
+
+type tcpCounters struct {
+	enqueued      atomic.Int64
+	sent          atomic.Int64
+	dropped       atomic.Int64
+	requeued      atomic.Int64
+	failFast      atomic.Int64
+	dialFailures  atomic.Int64
+	writeFailures atomic.Int64
+	redials       atomic.Int64
 }
 
 // wbufPool recycles the length-prefixed write buffers so steady-state
-// sending does not allocate one per frame.
+// sending does not allocate one per frame. Queued frames hold pooled
+// buffers; they return to the pool once written or shed.
 var wbufPool = sync.Pool{New: func() any { return new([]byte) }}
 
-func (tc *tconn) writeFrame(frame []byte) error {
-	bp := wbufPool.Get().(*[]byte)
-	buf := *bp
-	if need := 4 + len(frame); cap(buf) < need {
-		buf = make([]byte, need)
-	} else {
-		buf = buf[:need]
-	}
-	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
-	copy(buf[4:], frame)
-	tc.wmu.Lock()
-	_, err := tc.c.Write(buf)
-	tc.wmu.Unlock()
-	*bp = buf
-	wbufPool.Put(bp)
-	return err
+// Transport is a TCP-backed endpoint transport.
+type Transport struct {
+	ln    net.Listener
+	cfg   Config
+	stats tcpCounters
+
+	mu       sync.Mutex
+	recv     func([]byte)
+	queues   map[string]*hostq // per-destination outbound queues
+	accepted map[net.Conn]struct{}
+	closed   bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
 }
 
 var _ endpoint.Transport = (*Transport)(nil)
 
-// Listen starts a transport accepting on addr (e.g. "127.0.0.1:0").
+// Listen starts a transport accepting on addr (e.g. "127.0.0.1:0") with
+// default configuration.
 func Listen(addr string) (*Transport, error) {
+	return ListenConfig(addr, Config{})
+}
+
+// ListenConfig starts a transport with explicit failure tuning.
+func ListenConfig(addr string, cfg Config) (*Transport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = DefaultWriteTimeout
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
 	t := &Transport{
 		ln:       ln,
-		conns:    make(map[string]*tconn),
+		cfg:      cfg,
+		queues:   make(map[string]*hostq),
 		accepted: make(map[net.Conn]struct{}),
+		stop:     make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -98,88 +159,292 @@ func (t *Transport) SetReceiver(recv func(frame []byte)) {
 	t.recv = recv
 }
 
-// Send implements endpoint.Transport. It reuses a cached connection to
-// the destination, dialing (or redialing once, if the cached connection
-// has gone stale) as needed.
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Enqueued:      t.stats.enqueued.Load(),
+		Sent:          t.stats.sent.Load(),
+		Dropped:       t.stats.dropped.Load(),
+		Requeued:      t.stats.requeued.Load(),
+		FailFast:      t.stats.failFast.Load(),
+		DialFailures:  t.stats.dialFailures.Load(),
+		WriteFailures: t.stats.writeFailures.Load(),
+		Redials:       t.stats.redials.Load(),
+	}
+}
+
+// QueueDepth reports how many frames are waiting for the given host —
+// observability for tests and the admin surface.
+func (t *Transport) QueueDepth(host string) int {
+	t.mu.Lock()
+	q := t.queues[host]
+	t.mu.Unlock()
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.frames) - q.head
+}
+
+// Send implements endpoint.Transport. It copies the frame into the
+// destination host's bounded queue and returns: delivery is asynchronous
+// and best-effort. Send fails fast only when the transport is closed,
+// the frame is oversized, or the host's circuit breaker is open after
+// repeated dial/write failures.
 func (t *Transport) Send(to endpoint.Address, frame []byte) error {
-	host := to.Host()
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", len(frame))
 	}
-	for attempt := 0; attempt < 2; attempt++ {
-		conn, fresh, err := t.getConn(host)
-		if err != nil {
-			return err
-		}
-		if err = conn.writeFrame(frame); err == nil {
-			return nil
-		}
-		t.dropConn(host, conn)
-		if fresh {
-			// A connection we just dialed failed to accept a write;
-			// retrying would dial the same dead peer again.
-			return fmt.Errorf("tcpnet: write to %s: %w", host, err)
-		}
-	}
-	return fmt.Errorf("tcpnet: write to %s failed after redial", host)
-}
-
-// getConn returns a cached or fresh connection and whether it was dialed
-// by this call. A cached connection whose peer has already closed it is
-// detected synchronously (connDead) and replaced, so a Send after a peer
-// restart does not silently write into a dead socket. The peek costs one
-// non-blocking recvfrom per cached send — a deliberate trade: skipping
-// it on "recently active" connections would reopen a silent-loss window
-// exactly when a peer restarts, and the write syscall it precedes is of
-// the same order of cost.
-func (t *Transport) getConn(host string) (*tconn, bool, error) {
+	host := to.Host()
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, false, ErrClosed
+		return ErrClosed
 	}
-	if c, ok := t.conns[host]; ok {
-		t.mu.Unlock()
-		if !connDead(c.c) {
-			return c, false, nil
-		}
-		t.dropConn(host, c)
+	q, ok := t.queues[host]
+	if !ok {
+		q = newHostq(t, host)
+		t.queues[host] = q
+		t.wg.Add(1)
+		go q.flush()
+	}
+	t.mu.Unlock()
+	return q.enqueue(frame)
+}
+
+// hostq is one destination's bounded outbound queue plus the connection
+// its flusher currently holds.
+type hostq struct {
+	t    *Transport
+	host string
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	frames    []*[]byte // pooled, length-prefixed buffers; FIFO from head
+	head      int
+	conn      net.Conn  // flusher-owned; tracked here so Close can kill it
+	downUntil time.Time // breaker: enqueue fails fast until then
+	closed    bool
+}
+
+func newHostq(t *Transport, host string) *hostq {
+	q := &hostq{t: t, host: host}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// enqueue copies frame into a pooled length-prefixed buffer and appends
+// it, shedding the oldest frame when the queue is full.
+func (q *hostq) enqueue(frame []byte) error {
+	bp := wbufPool.Get().(*[]byte)
+	buf := *bp
+	if need := 4 + len(frame); cap(buf) < need {
+		buf = make([]byte, need)
 	} else {
-		t.mu.Unlock()
+		buf = buf[:need]
 	}
+	binary.BigEndian.PutUint32(buf, uint32(len(frame)))
+	copy(buf[4:], frame)
+	*bp = buf
 
-	c, err := net.Dial("tcp", host)
-	if err != nil {
-		return nil, false, fmt.Errorf("tcpnet: dial %s: %w", host, err)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		wbufPool.Put(bp)
+		return ErrClosed
 	}
-	tc := &tconn{c: c}
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		_ = c.Close()
-		return nil, false, ErrClosed
+	if !q.downUntil.IsZero() && time.Now().Before(q.downUntil) {
+		q.mu.Unlock()
+		wbufPool.Put(bp)
+		q.t.stats.failFast.Add(1)
+		return fmt.Errorf("%w: %s", ErrPeerDown, q.host)
 	}
-	if existing, ok := t.conns[host]; ok {
-		// Lost the race with a concurrent dialer; keep the winner.
-		t.mu.Unlock()
-		_ = c.Close()
-		return existing, false, nil
+	if len(q.frames)-q.head >= q.t.cfg.QueueLen {
+		old := q.frames[q.head]
+		q.frames[q.head] = nil
+		q.head++
+		wbufPool.Put(old)
+		q.t.stats.dropped.Add(1)
 	}
-	t.conns[host] = tc
-	t.mu.Unlock()
-	// Frames can flow back on the outbound connection too.
-	t.wg.Add(1)
-	go t.readLoop(c, func() { t.dropConn(host, tc) })
-	return tc, true, nil
+	q.frames = append(q.frames, bp)
+	q.cond.Signal()
+	q.mu.Unlock()
+	q.t.stats.enqueued.Add(1)
+	return nil
 }
 
-func (t *Transport) dropConn(host string, tc *tconn) {
-	t.mu.Lock()
-	if t.conns[host] == tc {
-		delete(t.conns, host)
+// pop blocks until a frame is queued or the queue closes.
+func (q *hostq) pop() (*[]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.frames) && !q.closed {
+		q.cond.Wait()
 	}
-	t.mu.Unlock()
-	_ = tc.c.Close()
+	if q.closed {
+		return nil, false
+	}
+	bp := q.frames[q.head]
+	q.frames[q.head] = nil
+	q.head++
+	if q.head == len(q.frames) {
+		q.frames = q.frames[:0]
+		q.head = 0
+	}
+	return bp, true
+}
+
+// requeue puts an unsent frame back at the front so ordering survives a
+// redial.
+func (q *hostq) requeue(bp *[]byte) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		wbufPool.Put(bp)
+		return
+	}
+	if q.head > 0 {
+		q.head--
+		q.frames[q.head] = bp
+	} else {
+		q.frames = append(q.frames, nil)
+		copy(q.frames[1:], q.frames)
+		q.frames[0] = bp
+	}
+	q.mu.Unlock()
+	q.t.stats.requeued.Add(1)
+}
+
+// backoff opens the breaker for the failure count's backoff delay and
+// sleeps it off. It reports false when the transport shut down mid-wait.
+func (q *hostq) backoff(fails int) bool {
+	d := q.t.cfg.Backoff.Backoff(fails)
+	q.mu.Lock()
+	if !q.closed {
+		q.downUntil = time.Now().Add(d)
+	}
+	q.mu.Unlock()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-q.t.stop:
+		return false
+	}
+}
+
+func (q *hostq) clearDown() {
+	q.mu.Lock()
+	q.downUntil = time.Time{}
+	q.mu.Unlock()
+}
+
+// setConn publishes the flusher's connection for Close teardown.
+func (q *hostq) setConn(c net.Conn) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		_ = c.Close()
+		return false
+	}
+	q.conn = c
+	q.mu.Unlock()
+	return true
+}
+
+func (q *hostq) clearConn(c net.Conn) {
+	q.mu.Lock()
+	if q.conn == c {
+		q.conn = nil
+	}
+	q.mu.Unlock()
+	_ = c.Close()
+}
+
+// close shuts the queue: queued buffers return to the pool, the flusher
+// wakes and exits, the connection dies.
+func (q *hostq) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	for i := q.head; i < len(q.frames); i++ {
+		wbufPool.Put(q.frames[i])
+	}
+	q.frames = nil
+	q.head = 0
+	c := q.conn
+	q.conn = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+}
+
+// flush is the per-host sender: it drains the queue over one connection,
+// dialing with a timeout, writing with a deadline, redialing with capped
+// exponential backoff, and keeping per-(sender,receiver) FIFO order by
+// requeueing the in-flight frame on failure.
+func (q *hostq) flush() {
+	defer q.t.wg.Done()
+	var conn net.Conn
+	fails := 0
+	for {
+		bp, ok := q.pop()
+		if !ok {
+			return
+		}
+		// A cached connection whose peer restarted looks writable but
+		// eats frames; the non-blocking peek detects the dead socket
+		// synchronously so the frame goes over a fresh connection. See
+		// staleconn_unix.go for the trade-off discussion.
+		if conn != nil && connDead(conn) {
+			q.clearConn(conn)
+			conn = nil
+			q.t.stats.redials.Add(1)
+		}
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", q.host, q.t.cfg.DialTimeout)
+			if err != nil {
+				q.t.stats.dialFailures.Add(1)
+				fails++
+				q.requeue(bp)
+				if !q.backoff(fails) {
+					return
+				}
+				continue
+			}
+			if !q.setConn(c) {
+				wbufPool.Put(bp)
+				return
+			}
+			conn = c
+			// Frames can flow back on the outbound connection too.
+			q.t.wg.Add(1)
+			go q.t.readLoop(c, func() { q.clearConn(c) })
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(q.t.cfg.WriteTimeout))
+		if _, err := conn.Write(*bp); err != nil {
+			q.t.stats.writeFailures.Add(1)
+			q.clearConn(conn)
+			conn = nil
+			fails++
+			q.requeue(bp)
+			if !q.backoff(fails) {
+				return
+			}
+			continue
+		}
+		_ = conn.SetWriteDeadline(time.Time{})
+		wbufPool.Put(bp)
+		fails = 0
+		q.clearDown()
+		q.t.stats.sent.Add(1)
+	}
 }
 
 func (t *Transport) acceptLoop() {
@@ -238,8 +503,9 @@ func (t *Transport) readLoop(conn net.Conn, onExit func()) {
 	}
 }
 
-// Close implements endpoint.Transport. It stops the listener, closes all
-// connections and waits for reader goroutines to exit.
+// Close implements endpoint.Transport. It stops the listener, shuts
+// every host queue (dropping what was still queued), closes all
+// connections and waits for flusher and reader goroutines to exit.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -247,20 +513,21 @@ func (t *Transport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := make([]*tconn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	queues := make([]*hostq, 0, len(t.queues))
+	for _, q := range t.queues {
+		queues = append(queues, q)
 	}
-	t.conns = map[string]*tconn{}
+	t.queues = map[string]*hostq{}
 	accepted := make([]net.Conn, 0, len(t.accepted))
 	for c := range t.accepted {
 		accepted = append(accepted, c)
 	}
 	t.mu.Unlock()
 
+	close(t.stop)
 	err := t.ln.Close()
-	for _, c := range conns {
-		_ = c.c.Close()
+	for _, q := range queues {
+		q.close()
 	}
 	for _, c := range accepted {
 		_ = c.Close()

@@ -3,6 +3,7 @@ package tcpnet_test
 import (
 	"bytes"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -149,13 +150,109 @@ func TestBidirectionalOverSingleConnection(t *testing.T) {
 	}
 }
 
-func TestSendToDeadPeerFails(t *testing.T) {
+func TestSendToDeadPeerFailsFast(t *testing.T) {
+	// Sends are asynchronous: the first enqueue succeeds, the flusher's
+	// dial fails, and the host's circuit breaker starts failing sends
+	// fast instead of queueing frames for a dead peer.
 	a, _ := listen(t)
 	dead, _ := tcpnet.Listen("127.0.0.1:0")
 	addr := dead.LocalAddress()
 	_ = dead.Close()
-	if err := a.Send(addr, []byte("x")); err == nil {
-		t.Fatal("send to closed listener succeeded")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := a.Send(addr, []byte("x"))
+		if errors.Is(err, tcpnet.ErrPeerDown) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened for dead peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := a.Stats()
+	if st.DialFailures == 0 {
+		t.Fatalf("stats = %+v, want DialFailures > 0", st)
+	}
+	if st.FailFast == 0 {
+		t.Fatalf("stats = %+v, want FailFast > 0", st)
+	}
+}
+
+func TestFullQueueShedsOldest(t *testing.T) {
+	// A peer that accepts the connection but never reads stalls the
+	// flusher on the kernel buffers; the bounded queue must shed its own
+	// oldest frames without blocking the sender.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			<-stop // hold the connection open, read nothing
+		}
+	}()
+
+	a, err := tcpnet.ListenConfig("127.0.0.1:0", tcpnet.Config{
+		QueueLen:     8,
+		WriteTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	a.SetReceiver(func([]byte) {})
+
+	addr := endpoint.MakeAddress("tcp", ln.Addr().String())
+	payload := bytes.Repeat([]byte("x"), 256<<10)
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		// Errors are fine once the breaker opens; blocking is not.
+		_ = a.Send(addr, payload)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("200 sends to a stalled peer took %v (sender blocked)", elapsed)
+	}
+	waitForStat(t, func(st tcpnet.Stats) bool { return st.Dropped > 0 || st.WriteFailures > 0 }, a)
+}
+
+func waitForStat(t *testing.T, cond func(tcpnet.Stats) bool, tr *tcpnet.Transport) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(tr.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", tr.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStatsCountSends(t *testing.T) {
+	a, _ := listen(t)
+	b, bs := listen(t)
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.Send(b.LocalAddress(), []byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs.wait(t, n)
+	st := a.Stats()
+	if st.Enqueued != n || st.Sent != n {
+		t.Fatalf("stats = %+v, want Enqueued = Sent = %d", st, n)
+	}
+	if st.Dropped != 0 || st.FailFast != 0 {
+		t.Fatalf("healthy peer shed frames: %+v", st)
 	}
 }
 

@@ -68,14 +68,19 @@ type Stats struct {
 	Sent       int64
 	Received   int64
 	Duplicates int64
+	// PropagateFailures counts sends whose mesh propagation errored
+	// (partition, all peers unreachable). The local loopback may still
+	// have delivered, so this is a reachability signal, not data loss.
+	PropagateFailures int64
 }
 
 // wireCounters is the lock-free internal form of Stats: the per-message
 // send and deliver paths bump these without touching s.mu.
 type wireCounters struct {
-	sent       atomic.Int64
-	received   atomic.Int64
-	duplicates atomic.Int64
+	sent         atomic.Int64
+	received     atomic.Int64
+	duplicates   atomic.Int64
+	propFailures atomic.Int64
 }
 
 // Service manages the propagated pipes of one peer in one group.
@@ -161,9 +166,10 @@ func (s *Service) CreateOutputPipe(pa *adv.PipeAdv) (*OutputPipe, error) {
 // Stats returns a snapshot of the counters.
 func (s *Service) Stats() Stats {
 	return Stats{
-		Sent:       s.stats.sent.Load(),
-		Received:   s.stats.received.Load(),
-		Duplicates: s.stats.duplicates.Load(),
+		Sent:              s.stats.sent.Load(),
+		Received:          s.stats.received.Load(),
+		Duplicates:        s.stats.duplicates.Load(),
+		PropagateFailures: s.stats.propFailures.Load(),
 	}
 }
 
@@ -223,6 +229,7 @@ func (s *Service) send(id jid.ID, msg *message.Message) error {
 		if errors.Is(err, rendezvous.ErrNoPeers) && in != nil {
 			return nil // delivered locally; an isolated peer is not an error
 		}
+		s.stats.propFailures.Add(1)
 		return fmt.Errorf("wire: propagate: %w", err)
 	}
 	return nil

@@ -1,0 +1,96 @@
+package retry_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/retry"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := retry.Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := p.Backoff(0); got != 0 {
+		t.Fatalf("Backoff(0) = %v, want 0", got)
+	}
+	if got := p.Backoff(-3); got != 0 {
+		t.Fatalf("Backoff(-3) = %v, want 0", got)
+	}
+}
+
+func TestBackoffJitterStaysInRange(t *testing.T) {
+	p := retry.Policy{Initial: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(2) // base 200ms, jittered into (100ms, 200ms]
+		if d <= 100*time.Millisecond || d > 200*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside (100ms, 200ms]", d)
+		}
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p retry.Policy
+	d := p.Backoff(1)
+	if d <= 0 || d > retry.Default.Initial {
+		t.Fatalf("zero policy Backoff(1) = %v", d)
+	}
+	// Deep in the curve the cap must hold.
+	if d := p.Backoff(50); d > retry.Default.Max {
+		t.Fatalf("zero policy Backoff(50) = %v exceeds default max", d)
+	}
+}
+
+func TestWaitHonoursContext(t *testing.T) {
+	p := retry.Policy{Initial: 10 * time.Second, Max: 10 * time.Second, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := p.Wait(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait did not return promptly on cancel")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := retry.Policy{Initial: time.Millisecond, Max: 2 * time.Millisecond, Jitter: -1}
+	calls := 0
+	err := retry.Do(context.Background(), p, 5, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoReturnsLastError(t *testing.T) {
+	p := retry.Policy{Initial: time.Millisecond, Max: time.Millisecond, Jitter: -1}
+	boom := errors.New("boom")
+	calls := 0
+	err := retry.Do(context.Background(), p, 3, func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("Do err=%v calls=%d", err, calls)
+	}
+}
