@@ -22,7 +22,7 @@ import (
 	"time"
 
 	"github.com/tps-p2p/tps/internal/benchkit"
-	"github.com/tps-p2p/tps/internal/stats"
+	"github.com/tps-p2p/tps/internal/benchstats"
 )
 
 func main() {
@@ -86,7 +86,7 @@ func figure18(profile benchkit.Profile, csvDir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(stats.Chart("Invocation time, 50 events", "event number", "ms/msg", series, 64, 14))
+	fmt.Print(benchstats.Chart("Invocation time, 50 events", "event number", "ms/msg", series, 64, 14))
 	printRatios(series)
 	return writeCSV(csvDir, "fig18.csv", "event", series)
 }
@@ -103,7 +103,7 @@ func figure19(profile benchkit.Profile, csvDir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(stats.Chart("Publisher throughput, 100 events", "epoch", "msg snd/sec", series, 64, 14))
+	fmt.Print(benchstats.Chart("Publisher throughput, 100 events", "epoch", "msg snd/sec", series, 64, 14))
 	printRatios(series)
 	return writeCSV(csvDir, "fig19.csv", "epoch", series)
 }
@@ -131,17 +131,17 @@ func figure20(profile benchkit.Profile, scale float64, csvDir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(stats.Chart("Subscriber throughput under flood", "sample window", "msg rcv/sec", series, 64, 14))
+	fmt.Print(benchstats.Chart("Subscriber throughput under flood", "sample window", "msg rcv/sec", series, 64, 14))
 	printRatios(series)
 	return writeCSV(csvDir, "fig20.csv", "second", series)
 }
 
 // printRatios prints the stack-vs-stack comparisons the paper draws
 // from each figure, using medians (robust against scheduler/GC spikes).
-func printRatios(series []stats.Series) {
+func printRatios(series []benchstats.Series) {
 	medians := map[string]float64{}
 	for _, s := range series {
-		medians[s.Name] = stats.Median(s.Points)
+		medians[s.Name] = benchstats.Median(s.Points)
 	}
 	find := func(sub string) (string, float64) {
 		for name, m := range medians {
@@ -167,7 +167,7 @@ func printRatios(series []stats.Series) {
 	fmt.Println()
 }
 
-func writeCSV(dir, name, xHeader string, series []stats.Series) error {
+func writeCSV(dir, name, xHeader string, series []benchstats.Series) error {
 	if dir == "" {
 		return nil
 	}
@@ -179,7 +179,7 @@ func writeCSV(dir, name, xHeader string, series []stats.Series) error {
 		return err
 	}
 	defer f.Close()
-	if err := stats.WriteCSV(f, xHeader, series); err != nil {
+	if err := benchstats.WriteCSV(f, xHeader, series); err != nil {
 		return err
 	}
 	fmt.Printf("    wrote %s\n\n", filepath.Join(dir, name))

@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/tps-p2p/tps/internal/obs"
 )
 
 type run struct {
@@ -71,21 +73,27 @@ func main() {
 	}
 
 	doc := struct {
-		GeneratedBy string                        `json:"generated_by"`
-		GoVersion   string                        `json:"go_version"`
-		GOMAXPROCS  int                           `json:"gomaxprocs"`
-		Bench       string                        `json:"bench"`
-		Benchtime   string                        `json:"benchtime"`
-		Count       int                           `json:"count"`
-		Benchmarks  map[string]map[string]float64 `json:"benchmarks"`
+		GeneratedBy string `json:"generated_by"`
+		GoVersion   string `json:"go_version"`
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		// ObsSchemaVersion records which runtime stats schema
+		// (internal/obs, the /stats endpoint) this build carries, so a
+		// benchmark file can be matched to the introspection format of
+		// the binary that produced it.
+		ObsSchemaVersion int                           `json:"obs_schema_version"`
+		Bench            string                        `json:"bench"`
+		Benchtime        string                        `json:"benchtime"`
+		Count            int                           `json:"count"`
+		Benchmarks       map[string]map[string]float64 `json:"benchmarks"`
 	}{
-		GeneratedBy: "cmd/benchjson",
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Bench:       *bench,
-		Benchtime:   *benchtime,
-		Count:       *count,
-		Benchmarks:  make(map[string]map[string]float64, len(results)),
+		GeneratedBy:      "cmd/benchjson",
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		ObsSchemaVersion: obs.SchemaVersion,
+		Bench:            *bench,
+		Benchtime:        *benchtime,
+		Count:            *count,
+		Benchmarks:       make(map[string]map[string]float64, len(results)),
 	}
 	for name, r := range results {
 		metrics := make(map[string]float64, len(r.sums))

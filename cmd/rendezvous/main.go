@@ -4,8 +4,17 @@
 // groups of any type are served by the one daemon (it joins none of
 // them).
 //
+// Operational state is served over the embedded admin endpoint instead
+// of periodic log lines:
+//
 //	go run ./cmd/rendezvous -listen 0.0.0.0:9701
+//	curl -s http://127.0.0.1:7700/stats | jq .
+//	go run ./cmd/tpsctl stats -admin 127.0.0.1:7700
+//
 //	go run ./cmd/rendezvous -listen 0.0.0.0:9702 -seed tcp://host-a:9701   # mesh
+//
+// The admin server carries no authentication: keep it on loopback (the
+// default) unless the network is trusted. -admin "" disables it.
 package main
 
 import (
@@ -15,81 +24,54 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
-	"github.com/tps-p2p/tps/internal/jxta/endpoint"
-	"github.com/tps-p2p/tps/internal/jxta/peer"
-	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
-	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
+	tps "github.com/tps-p2p/tps"
+	"github.com/tps-p2p/tps/internal/obs/admin"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "0.0.0.0:9701", "TCP listen address")
-		seeds  = flag.String("seed", "", "comma-separated addresses of other rendezvous to mesh with")
-		name   = flag.String("name", "rendezvous", "peer name")
-		stats  = flag.Duration("stats", 30*time.Second, "stats print interval (0 disables)")
+		listen    = flag.String("listen", "0.0.0.0:9701", "TCP listen address")
+		seeds     = flag.String("seed", "", "comma-separated addresses of other rendezvous to mesh with")
+		name      = flag.String("name", "rendezvous", "peer name")
+		adminAddr = flag.String("admin", fmt.Sprintf("127.0.0.1:%d", admin.DefaultPort),
+			"HTTP admin address serving /stats, /peers, /health (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*listen, *seeds, *name, *stats); err != nil {
+	if err := run(*listen, *seeds, *name, *adminAddr); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, seeds, name string, statsEvery time.Duration) error {
-	tr, err := tcpnet.Listen(listen)
-	if err != nil {
-		return err
+func run(listen, seeds, name, adminAddr string) error {
+	cfg := tps.Config{
+		Name:       name,
+		ListenTCP:  listen,
+		Rendezvous: true,
+		AdminAddr:  adminAddr,
 	}
-	var seedAddrs []endpoint.Address
 	if seeds != "" {
 		for _, s := range strings.Split(seeds, ",") {
-			seedAddrs = append(seedAddrs, endpoint.Address(strings.TrimSpace(s)))
+			cfg.Seeds = append(cfg.Seeds, strings.TrimSpace(s))
 		}
 	}
-	p, err := peer.New(peer.Config{
-		Name:  name,
-		Role:  rendezvous.RoleRendezvous,
-		Seeds: seedAddrs,
-	}, tr)
+	p, err := tps.NewPlatform(cfg)
 	if err != nil {
 		return err
 	}
 	defer p.Close()
-	daemon, err := p.EnableDaemon()
-	if err != nil {
-		return err
-	}
-	defer daemon.Close()
 	fmt.Printf("rendezvous %s up on %v (peers seed with tcp://<this-host>:%s)\n",
-		p.ID().Short(), p.Addresses(), hostPort(listen))
+		p.PeerID(), p.Addresses(), hostPort(listen))
+	if addr := p.AdminAddr(); addr != "" {
+		fmt.Printf("admin endpoint on http://%s (/stats /peers /subscriptions /health /rpc)\n", addr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
-	if statsEvery <= 0 {
-		<-stop
-		return nil
-	}
-	ticker := time.NewTicker(statsEvery)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-ticker.C:
-			rs := daemon.Rendezvous.Stats()
-			es := p.Endpoint().Stats()
-			ts := tr.Stats()
-			fmt.Printf("clients=%d propagated=%d delivered=%d dup=%d | msgs in/out=%d/%d bytes in/out=%d/%d\n",
-				rs.LeasesActive, rs.Propagated, rs.Delivered, rs.Duplicates,
-				es.MsgsIn, es.MsgsOut, es.BytesIn, es.BytesOut)
-			fmt.Printf("  health: sendfail=%d suspect=%d probes=%d evicted=%d breaker-skips=%d seedfail=%d | tcp sent/dropped/requeued=%d/%d/%d dialfail=%d writefail=%d redials=%d\n",
-				rs.SendFailures, rs.Suspected, rs.Probes, rs.Evicted, rs.BreakerSkips, rs.SeedFailures,
-				ts.Sent, ts.Dropped, ts.Requeued, ts.DialFailures, ts.WriteFailures, ts.Redials)
-		case <-stop:
-			fmt.Println("shutting down")
-			return nil
-		}
-	}
+	<-stop
+	fmt.Println("shutting down")
+	return nil
 }
 
 func hostPort(listen string) string {

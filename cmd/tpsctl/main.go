@@ -1,19 +1,36 @@
 // Command tpsctl is the operator's Swiss-army knife for a live TPS/JXTA
-// mesh: discover advertisements, query peer health (PIP), and probe
-// event types — without writing a program.
+// mesh: discover advertisements, query peer health (PIP), probe event
+// types, and read any peer's admin endpoint — without writing a
+// program.
+//
+// Mesh commands (speak JXTA to a rendezvous):
 //
 //	tpsctl -seed tcp://rdv:9701 discover            # list PS.* event groups
 //	tpsctl -seed tcp://rdv:9701 discover -name 'PS.SkiRental*'
 //	tpsctl -seed tcp://rdv:9701 peerinfo tcp://host:9702
 //	tpsctl -seed tcp://rdv:9701 listen SkiRental    # dump raw events of a type group
+//
+// Admin commands (speak HTTP/JSON to a peer's admin endpoint; the
+// address comes from -admin, or is derived from the -seed host on the
+// default admin port):
+//
+//	tpsctl stats -admin 127.0.0.1:7700              # one coherent stats view
+//	tpsctl stats -seed tcp://rdv:9701               # same, address derived
+//	tpsctl peers -admin 127.0.0.1:7700              # leases, seeds, health
+//	tpsctl subs  -admin 127.0.0.1:7700              # subscriptions and types
+//	tpsctl watch -admin 127.0.0.1:7700 -interval 2s # poll /stats, print deltas
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
@@ -23,6 +40,8 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
 	"github.com/tps-p2p/tps/internal/jxta/wire"
+	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/admin"
 )
 
 func main() {
@@ -34,13 +53,226 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: tpsctl [flags] discover | peerinfo <addr> | listen <type>")
+		fmt.Fprintln(os.Stderr,
+			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | watch")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *listen, *seeds, *name, *wait); err != nil {
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "stats", "peers", "subs", "watch":
+		err = adminCommand(cmd, args, *seeds)
+	default:
+		err = run(cmd, args, *listen, *seeds, *name, *wait)
+	}
+	if err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
+}
+
+// adminCommand serves the HTTP/JSON subcommands. Flags are accepted
+// after the subcommand ("tpsctl stats -seed tcp://rdv:9701"); a -seed
+// given before it is inherited as the default.
+func adminCommand(cmd string, args []string, globalSeed string) error {
+	fs := flag.NewFlagSet("tpsctl "+cmd, flag.ExitOnError)
+	adminAddr := fs.String("admin", "", "admin endpoint host:port")
+	seed := fs.String("seed", globalSeed,
+		fmt.Sprintf("rendezvous address tcp://host:port; its host derives the admin address on port %d", admin.DefaultPort))
+	interval := fs.Duration("interval", 2*time.Second, "poll interval (watch)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := adminBase(*adminAddr, *seed)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "stats":
+		return showStats(base)
+	case "peers":
+		return showPeers(base)
+	case "subs":
+		return showSubs(base)
+	case "watch":
+		return watchStats(base, *interval)
+	}
+	return fmt.Errorf("unknown admin command %q", cmd)
+}
+
+// adminBase resolves the admin endpoint URL: -admin verbatim, else the
+// -seed host with the conventional admin port.
+func adminBase(adminAddr, seed string) (string, error) {
+	if adminAddr != "" {
+		return "http://" + adminAddr, nil
+	}
+	if seed == "" {
+		return "", fmt.Errorf("need -admin host:port or -seed tcp://host:port")
+	}
+	s := strings.TrimSpace(strings.Split(seed, ",")[0])
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	host, _, err := net.SplitHostPort(s)
+	if err != nil {
+		host = s
+	}
+	return fmt.Sprintf("http://%s:%d", host, admin.DefaultPort), nil
+}
+
+func fetchJSON(base, path string, into any) error {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("GET %s%s: %s", base, path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func showStats(base string) error {
+	var view obs.View
+	if err := fetchJSON(base, "/stats", &view); err != nil {
+		return err
+	}
+	fmt.Printf("stats (schema %d) at %s\n", view.Schema,
+		time.UnixMilli(view.TakenAtMS).Format(time.RFC3339))
+	for _, s := range view.Subsystems {
+		fmt.Printf("%s\n", s.Name)
+		for _, k := range sortedKeys(s.Counters) {
+			line := fmt.Sprintf("  %-20s %d", k, s.Counters[k])
+			if r, ok := view.Rates[s.Name+"."+k]; ok && r != 0 {
+				line += fmt.Sprintf("  (%.1f/s)", r)
+			}
+			fmt.Println(line)
+		}
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Printf("  %-20s %g\n", k, s.Gauges[k])
+		}
+	}
+	return nil
+}
+
+func showPeers(base string) error {
+	var doc struct {
+		PeerID string          `json:"peer_id"`
+		Peers  []obs.PeerEntry `json:"peers"`
+	}
+	if err := fetchJSON(base, "/peers", &doc); err != nil {
+		return err
+	}
+	fmt.Printf("peer %s: %d known peers\n", doc.PeerID, len(doc.Peers))
+	fmt.Printf("%-12s %-26s %-14s %-10s %-5s %s\n", "KIND", "ADDR", "ID", "EXPIRES", "FAILS", "STATE")
+	for _, pe := range doc.Peers {
+		state := "ok"
+		if pe.Suspect {
+			state = "suspect"
+		}
+		if pe.BreakerOpenMS > 0 {
+			state = fmt.Sprintf("breaker-open %dms", pe.BreakerOpenMS)
+		}
+		expires := "-"
+		if pe.ExpiresInMS > 0 {
+			expires = (time.Duration(pe.ExpiresInMS) * time.Millisecond).Round(time.Second).String()
+		}
+		fmt.Printf("%-12s %-26s %-14s %-10s %-5d %s\n",
+			pe.Kind, pe.Addr, short(pe.ID), expires, pe.Fails, state)
+	}
+	return nil
+}
+
+func showSubs(base string) error {
+	var doc struct {
+		Subscriptions []obs.SubscriptionEntry `json:"subscriptions"`
+		Types         []string                `json:"types"`
+	}
+	if err := fetchJSON(base, "/subscriptions", &doc); err != nil {
+		return err
+	}
+	if len(doc.Subscriptions) == 0 {
+		fmt.Println("no subscriptions")
+	} else {
+		fmt.Printf("%-28s %-12s %-12s %s\n", "TYPE", "SUBSCRIBERS", "ATTACHED", "READY")
+		for _, se := range doc.Subscriptions {
+			fmt.Printf("%-28s %-12d %-12d %d\n", se.Type, se.Subscribers, se.Attachments, se.Ready)
+		}
+	}
+	if len(doc.Types) > 0 {
+		fmt.Printf("registered types: %s\n", strings.Join(doc.Types, ", "))
+	}
+	return nil
+}
+
+// watchStats polls /stats and prints the counters that moved between
+// polls, one line per change, until interrupted.
+func watchStats(base string, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	prev := map[string]int64{}
+	first := true
+	for {
+		var view obs.View
+		if err := fetchJSON(base, "/stats", &view); err != nil {
+			return err
+		}
+		cur := map[string]int64{}
+		for _, s := range view.Subsystems {
+			for k, v := range s.Counters {
+				cur[s.Name+"."+k] = v
+			}
+		}
+		if first {
+			fmt.Printf("watching %s/stats every %v (ctrl-C to stop)\n", base, interval)
+			first = false
+		} else {
+			var lines []string
+			for _, k := range sortedKeys(cur) {
+				if d := cur[k] - prev[k]; d != 0 {
+					lines = append(lines, fmt.Sprintf("%s +%d (%.1f/s)",
+						k, d, float64(d)/interval.Seconds()))
+				}
+			}
+			if len(lines) == 0 {
+				lines = []string{"idle"}
+			}
+			fmt.Printf("%s  %s\n", time.Now().Format("15:04:05"), strings.Join(lines, "  "))
+		}
+		prev = cur
+		select {
+		case <-ticker.C:
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func short(id string) string {
+	if i := strings.LastIndex(id, ":"); i >= 0 && len(id)-i > 1 {
+		id = id[i+1:]
+	}
+	if len(id) > 12 {
+		return id[:12]
+	}
+	if id == "" {
+		return "-"
+	}
+	return id
 }
 
 func run(cmd string, args []string, listen, seeds, namePat string, wait time.Duration) error {

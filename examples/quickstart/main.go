@@ -48,6 +48,7 @@ func run() error {
 			Seeds:        seeds,
 			FindTimeout:  500 * time.Millisecond,
 			FindInterval: 100 * time.Millisecond,
+			// AdminAddr: "127.0.0.1:7700", // uncomment, then: curl -s http://127.0.0.1:7700/stats
 		}, tps.WithTransport(memnet.New(node)))
 	}
 

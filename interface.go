@@ -84,6 +84,7 @@ func NewEngine[T any](p *Platform) (*Engine[T], error) {
 	if err != nil {
 		return nil, psErr("engine", err)
 	}
+	p.trackEngine(core)
 	return &Engine[T]{platform: p, core: core, node: node}, nil
 }
 
@@ -113,8 +114,11 @@ func (e *Engine[T]) AwaitReady(n int, timeout time.Duration) bool {
 }
 
 // Close shuts the engine down. Interfaces created from it stop
-// delivering.
-func (e *Engine[T]) Close() { e.core.Close() }
+// delivering, and the engine leaves the platform's stats aggregation.
+func (e *Engine[T]) Close() {
+	e.platform.untrackEngine(e.core)
+	e.core.Close()
+}
 
 // Interface is the paper's TPSInterface<Type>: the seven operations of
 // Figure 8, typed by Go generics.

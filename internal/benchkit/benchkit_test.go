@@ -4,7 +4,7 @@ import (
 	"testing"
 	"time"
 
-	"github.com/tps-p2p/tps/internal/stats"
+	"github.com/tps-p2p/tps/internal/benchstats"
 )
 
 // fastProfile compresses the simulation so the whole suite runs in
@@ -59,7 +59,7 @@ func TestInvocationTimeShape(t *testing.T) {
 		if len(points) != 30 {
 			t.Fatalf("points = %d", len(points))
 		}
-		means[stack] = stats.Mean(points)
+		means[stack] = benchstats.Mean(points)
 	}
 	t.Logf("invocation means ms/msg: WIRE=%.4f SR-JXTA=%.4f SR-TPS=%.4f",
 		means[StackWire], means[StackSRJXTA], means[StackSRTPS])
@@ -80,7 +80,7 @@ func TestSubscriberThroughputSaturates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mean := stats.Mean(points[2:]) // skip ramp-up windows
+	mean := benchstats.Mean(points[2:]) // skip ramp-up windows
 	// Capacity at scale 0.002: perMsg 120µs + 1910B/15MB/s ≈ 247µs
 	// ⇒ ≈4000/s. The observed plateau must be in that region, far below
 	// the flood rate.

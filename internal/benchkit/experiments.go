@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/tps-p2p/tps/internal/stats"
+	"github.com/tps-p2p/tps/internal/benchstats"
 )
 
 // experiments.go implements the three measurement protocols of §5.
@@ -102,8 +102,8 @@ var DefaultStacks = []Stack{StackWire, StackSRJXTA, StackSRTPS}
 // Figure18 measures invocation time for every (stack, subscriber count)
 // combination and returns one series per combination, named as in the
 // paper's legend.
-func Figure18(cfg FigureConfig) ([]stats.Series, error) {
-	var out []stats.Series
+func Figure18(cfg FigureConfig) ([]benchstats.Series, error) {
+	var out []benchstats.Series
 	for _, count := range cfg.Counts {
 		for _, stack := range cfg.Stacks {
 			c, err := NewCluster(Config{
@@ -117,7 +117,7 @@ func Figure18(cfg FigureConfig) ([]stats.Series, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig18 %v/%d subs: %w", stack, count, err)
 			}
-			out = append(out, stats.Series{
+			out = append(out, benchstats.Series{
 				Name:   fmt.Sprintf("%s %d sub(s)", stack, count),
 				Points: points,
 			})
@@ -128,8 +128,8 @@ func Figure18(cfg FigureConfig) ([]stats.Series, error) {
 
 // Figure19 measures publisher throughput per epoch for every (stack,
 // subscriber count) combination.
-func Figure19(cfg FigureConfig) ([]stats.Series, error) {
-	var out []stats.Series
+func Figure19(cfg FigureConfig) ([]benchstats.Series, error) {
+	var out []benchstats.Series
 	for _, count := range cfg.Counts {
 		for _, stack := range cfg.Stacks {
 			c, err := NewCluster(Config{
@@ -143,7 +143,7 @@ func Figure19(cfg FigureConfig) ([]stats.Series, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig19 %v/%d subs: %w", stack, count, err)
 			}
-			out = append(out, stats.Series{
+			out = append(out, benchstats.Series{
 				Name:   fmt.Sprintf("%s %d sub(s)", stack, count),
 				Points: points,
 			})
@@ -154,8 +154,8 @@ func Figure19(cfg FigureConfig) ([]stats.Series, error) {
 
 // Figure20 measures subscriber throughput for every (stack, publisher
 // count) combination.
-func Figure20(cfg FigureConfig) ([]stats.Series, error) {
-	var out []stats.Series
+func Figure20(cfg FigureConfig) ([]benchstats.Series, error) {
+	var out []benchstats.Series
 	for _, count := range cfg.Counts {
 		for _, stack := range cfg.Stacks {
 			c, err := NewCluster(Config{
@@ -169,7 +169,7 @@ func Figure20(cfg FigureConfig) ([]stats.Series, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig20 %v/%d pubs: %w", stack, count, err)
 			}
-			out = append(out, stats.Series{
+			out = append(out, benchstats.Series{
 				Name:   fmt.Sprintf("%s %d pub(s)", stack, count),
 				Points: points,
 			})

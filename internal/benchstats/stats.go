@@ -1,7 +1,9 @@
-// Package stats provides the small statistics and rendering toolkit the
-// benchmark harness uses to regenerate the paper's figures: summary
-// statistics, per-index series, CSV output and ASCII charts.
-package stats
+// Package benchstats provides the small statistics and rendering
+// toolkit the benchmark harness uses to regenerate the paper's figures:
+// summary statistics, per-index series, CSV output and ASCII charts.
+// It is offline analysis of benchmark samples — for live runtime
+// counters and the admin endpoint, see internal/obs.
+package benchstats
 
 import (
 	"fmt"

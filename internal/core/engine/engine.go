@@ -21,6 +21,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/obs"
 )
 
 // PSPrefix prefixes every TPS advertisement name, as in the paper's
@@ -99,6 +101,9 @@ type Engine struct {
 }
 
 // Stats counts engine activity.
+//
+// Deprecated: new introspection code should use Snapshot (the
+// obs.Provider view); Stats remains for existing tests and tools.
 type Stats struct {
 	Published       int64
 	Delivered       int64
@@ -193,6 +198,104 @@ func (e *Engine) Stats() Stats {
 		st.AttachmentsLive += len(m)
 	}
 	return st
+}
+
+// Snapshot implements obs.Provider. Counter keys follow the shared obs
+// vocabulary: what Stats calls DecodeErrors and PublishErrors are
+// `decode_failures` and `publish_failures` here.
+func (e *Engine) Snapshot() obs.Snapshot {
+	e.mu.Lock()
+	attachments := 0
+	for _, m := range e.attachments {
+		attachments += len(m)
+	}
+	e.mu.Unlock()
+	return obs.Snapshot{
+		Name:    "engine",
+		Version: 1,
+		Counters: map[string]int64{
+			"published":        e.stats.published.Load(),
+			"delivered":        e.stats.delivered.Load(),
+			"duplicates":       e.stats.duplicateEvents.Load(),
+			"decode_failures":  e.stats.decodeErrors.Load(),
+			"publish_failures": e.stats.publishErrors.Load(),
+			"advs_created":     e.stats.advsCreated.Load(),
+			"advs_found":       e.stats.advsFound.Load(),
+		},
+		Gauges: map[string]float64{
+			"attachments":   float64(attachments),
+			"subscriptions": float64(e.SubscriptionCount()),
+		},
+	}
+}
+
+// ZeroSnapshot is the engine snapshot of a peer running no engines yet:
+// every counter present and zero, so the stats document's subsystem
+// catalog is stable from the first collect.
+func ZeroSnapshot() obs.Snapshot {
+	return obs.Snapshot{
+		Name:    "engine",
+		Version: 1,
+		Counters: map[string]int64{
+			"published":        0,
+			"delivered":        0,
+			"duplicates":       0,
+			"decode_failures":  0,
+			"publish_failures": 0,
+			"advs_created":     0,
+			"advs_found":       0,
+		},
+		Gauges: map[string]float64{
+			"attachments":   0,
+			"subscriptions": 0,
+		},
+	}
+}
+
+// SeenCache exposes the event-level dedupe cache for the "seen"
+// subsystem aggregation.
+func (e *Engine) SeenCache() *seen.Cache { return e.dedupe }
+
+// SubscriptionsView lists the live subscription table: one entry per
+// subscribed root type, with the attachment fan-in serving it. It feeds
+// /subscriptions on the admin surface.
+func (e *Engine) SubscriptionsView() []obs.SubscriptionEntry {
+	subscribers := make(map[string]int)
+	e.subs.mu.RLock()
+	for sub := range e.subs.subs {
+		subscribers[sub.node.Path()]++
+	}
+	e.subs.mu.RUnlock()
+	paths := make([]string, 0, len(subscribers))
+	for p := range subscribers {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]obs.SubscriptionEntry, 0, len(paths))
+	for _, p := range paths {
+		node, ok := e.reg.NodeByPath(p)
+		entry := obs.SubscriptionEntry{Type: p, Subscribers: subscribers[p]}
+		if ok {
+			entry.Attachments = e.attachmentCount(node)
+			entry.Ready = e.readyCount(node)
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// attachmentCount counts the live attachments covering the node's
+// subtree, connected or not.
+func (e *Engine) attachmentCount(node *typereg.Node) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	count := 0
+	for path, m := range e.attachments {
+		if typereg.CoversPath(node.Path(), path) {
+			count += len(m)
+		}
+	}
+	return count
 }
 
 // Close stops the finder, closes every attachment and detaches from

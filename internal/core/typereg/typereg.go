@@ -169,6 +169,19 @@ func (r *Registry) NodeOf(v any) (*Node, bool) {
 	return r.NodeByType(TypeOf(v))
 }
 
+// Paths lists every registered subject path, sorted — the type catalog
+// the introspection API reports.
+func (r *Registry) Paths() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.byPath))
+	for p := range r.byPath {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Subtree returns the node and all its descendants, sorted by path —
 // the nominal subtype closure of Figure 7 (subscribing to A covers
 // B, C and D).

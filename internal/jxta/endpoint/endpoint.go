@@ -22,6 +22,7 @@ import (
 
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/obs"
 )
 
 // Address is a transport-qualified address such as "tcp://10.0.0.1:9701"
@@ -104,6 +105,10 @@ var (
 
 // Stats is a snapshot of endpoint traffic, feeding the Peer Information
 // Protocol.
+//
+// Deprecated: new introspection code should use Snapshot (the
+// obs.Provider view with the shared counter vocabulary); Stats remains
+// for the PIP responder and existing tests.
 type Stats struct {
 	Started       time.Time
 	MsgsIn        int64
@@ -385,6 +390,32 @@ func (s *Service) Stats() Stats {
 		st.LastOutgoing = time.Unix(0, ns)
 	}
 	return st
+}
+
+// Snapshot implements obs.Provider. Counter keys follow the shared
+// obs vocabulary: what Stats calls NoHandlerDrop and SendErrors are
+// `dropped` and `send_failures` here.
+func (s *Service) Snapshot() obs.Snapshot {
+	s.mu.RLock()
+	transports := len(s.transports)
+	s.mu.RUnlock()
+	return obs.Snapshot{
+		Name:    "endpoint",
+		Version: 1,
+		Counters: map[string]int64{
+			"msgs_in":         s.stats.msgsIn.Load(),
+			"msgs_out":        s.stats.msgsOut.Load(),
+			"bytes_in":        s.stats.bytesIn.Load(),
+			"bytes_out":       s.stats.bytesOut.Load(),
+			"dropped":         s.stats.noHandlerDrop.Load(),
+			"decode_failures": s.stats.decodeErrors.Load(),
+			"send_failures":   s.stats.sendErrors.Load(),
+		},
+		Gauges: map[string]float64{
+			"transports": float64(transports),
+			"uptime_s":   time.Since(s.started).Seconds(),
+		},
+	}
 }
 
 // Close shuts down all transports. Handlers registered remain but no

@@ -13,6 +13,7 @@ package rendezvous
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/obs"
 	"github.com/tps-p2p/tps/internal/retry"
 )
 
@@ -142,6 +144,9 @@ var ErrNoPeers = errors.New("rendezvous: no connected peers")
 var ErrAllSendsFailed = errors.New("rendezvous: all sends failed")
 
 // Stats counts rendezvous activity.
+//
+// Deprecated: new introspection code should use Snapshot (the
+// obs.Provider view); Stats remains for existing tests and tools.
 type Stats struct {
 	Propagated   int64 // messages this peer injected or forwarded
 	Delivered    int64 // propagated messages delivered to local services
@@ -380,6 +385,124 @@ func (s *Service) Stats() Stats {
 	s.expireLocked()
 	st.LeasesActive = len(s.clients)
 	return st
+}
+
+// Snapshot implements obs.Provider.
+func (s *Service) Snapshot() obs.Snapshot {
+	s.mu.Lock()
+	s.expireLocked()
+	leases := len(s.clients)
+	connected := len(s.rdvs)
+	now := s.now()
+	suspects, breakers := 0, 0
+	for _, h := range s.health {
+		if h.suspect {
+			suspects++
+		}
+		if now.Before(h.bannedUntil) {
+			breakers++
+		}
+	}
+	s.mu.Unlock()
+	return obs.Snapshot{
+		Name:    "rendezvous",
+		Version: 1,
+		Counters: map[string]int64{
+			"propagated":    s.stats.propagated.Load(),
+			"delivered":     s.stats.delivered.Load(),
+			"duplicates":    s.stats.duplicates.Load(),
+			"send_failures": s.stats.sendFailures.Load(),
+			"seed_failures": s.stats.seedFailures.Load(),
+			"suspected":     s.stats.suspected.Load(),
+			"probes":        s.stats.probes.Load(),
+			"evicted":       s.stats.evicted.Load(),
+			"breaker_skips": s.stats.breakerSkips.Load(),
+		},
+		Gauges: map[string]float64{
+			"leases":        float64(leases),
+			"connected":     float64(connected),
+			"suspects":      float64(suspects),
+			"breakers_open": float64(breakers),
+		},
+	}
+}
+
+// SeenCache exposes the propagation duplicate cache for the "seen"
+// subsystem aggregation.
+func (s *Service) SeenCache() *seen.Cache { return s.seen }
+
+// PeersView lists every peer this service knows about — rendezvous we
+// lease with, clients leased to us, and the configured seeds — together
+// with the failure detector's per-address state. It feeds /peers on the
+// admin surface.
+func (s *Service) PeersView() []obs.PeerEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	now := s.now()
+	out := make([]obs.PeerEntry, 0, len(s.rdvs)+len(s.clients)+len(s.cfg.Seeds))
+	for id, e := range s.rdvs {
+		pe := obs.PeerEntry{
+			ID:          id.String(),
+			Addr:        string(e.addr),
+			Kind:        obs.PeerRendezvous,
+			Group:       e.param,
+			ExpiresInMS: remainingMS(e.expires, now),
+		}
+		s.fillHealthLocked(&pe, e.addr, now)
+		out = append(out, pe)
+	}
+	for k, e := range s.clients {
+		pe := obs.PeerEntry{
+			ID:          k.id.String(),
+			Addr:        string(e.addr),
+			Kind:        obs.PeerClient,
+			Group:       k.param,
+			ExpiresInMS: remainingMS(e.expires, now),
+		}
+		s.fillHealthLocked(&pe, e.addr, now)
+		out = append(out, pe)
+	}
+	for i, addr := range s.cfg.Seeds {
+		pe := obs.PeerEntry{
+			Addr:  string(addr),
+			Kind:  obs.PeerSeed,
+			Fails: s.seeds[i].fails,
+		}
+		s.fillHealthLocked(&pe, addr, now)
+		out = append(out, pe)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// fillHealthLocked copies the failure-detector state of addr into pe.
+// Seed entries keep their own connect-failure count when the address
+// has no send-side health record.
+func (s *Service) fillHealthLocked(pe *obs.PeerEntry, addr endpoint.Address, now time.Time) {
+	h, ok := s.health[addr]
+	if !ok {
+		return
+	}
+	if h.fails > pe.Fails {
+		pe.Fails = h.fails
+	}
+	pe.Suspect = h.suspect
+	pe.BreakerOpenMS = remainingMS(h.bannedUntil, now)
+}
+
+// remainingMS returns how many milliseconds remain until t, or 0 when t
+// is zero or past.
+func remainingMS(t, now time.Time) int64 {
+	if t.IsZero() || !t.After(now) {
+		return 0
+	}
+	return t.Sub(now).Milliseconds()
 }
 
 // AwaitConnected blocks until this peer holds a lease with at least one

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/obs"
 	"github.com/tps-p2p/tps/internal/retry"
 )
 
@@ -171,6 +172,48 @@ func (t *Transport) Stats() Stats {
 		WriteFailures: t.stats.writeFailures.Load(),
 		Redials:       t.stats.redials.Load(),
 	}
+}
+
+// Snapshot implements obs.Provider.
+func (t *Transport) Snapshot() obs.Snapshot {
+	hosts, depth := t.queueTotals()
+	return obs.Snapshot{
+		Name:    "tcpnet",
+		Version: 1,
+		Counters: map[string]int64{
+			"enqueued":       t.stats.enqueued.Load(),
+			"sent":           t.stats.sent.Load(),
+			"dropped":        t.stats.dropped.Load(),
+			"requeued":       t.stats.requeued.Load(),
+			"fail_fast":      t.stats.failFast.Load(),
+			"dial_failures":  t.stats.dialFailures.Load(),
+			"write_failures": t.stats.writeFailures.Load(),
+			"redials":        t.stats.redials.Load(),
+		},
+		Gauges: map[string]float64{
+			"hosts":       float64(hosts),
+			"queue_depth": float64(depth),
+		},
+	}
+}
+
+// queueTotals counts the live outbound queues and the frames waiting in
+// them across all destinations.
+func (t *Transport) queueTotals() (hosts, depth int) {
+	t.mu.Lock()
+	qs := make([]*hostq, 0, len(t.queues))
+	for _, q := range t.queues {
+		qs = append(qs, q)
+	}
+	t.mu.Unlock()
+	for _, q := range qs {
+		q.mu.Lock()
+		n := len(q.frames) - q.head
+		q.mu.Unlock()
+		hosts++
+		depth += n
+	}
+	return hosts, depth
 }
 
 // QueueDepth reports how many frames are waiting for the given host —

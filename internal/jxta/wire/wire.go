@@ -22,6 +22,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/obs"
 )
 
 // ServiceName is the endpoint service name of the wire service (JXTA's
@@ -64,6 +65,9 @@ type Config struct {
 }
 
 // Stats counts wire traffic.
+//
+// Deprecated: new introspection code should use Snapshot (the
+// obs.Provider view); Stats remains for existing tests and tools.
 type Stats struct {
 	Sent       int64
 	Received   int64
@@ -171,6 +175,35 @@ func (s *Service) Stats() Stats {
 		Duplicates:        s.stats.duplicates.Load(),
 		PropagateFailures: s.stats.propFailures.Load(),
 	}
+}
+
+// Snapshot implements obs.Provider.
+func (s *Service) Snapshot() obs.Snapshot {
+	s.mu.Lock()
+	inputs := len(s.inputs)
+	s.mu.Unlock()
+	return obs.Snapshot{
+		Name:    "wire",
+		Version: 1,
+		Counters: map[string]int64{
+			"sent":               s.stats.sent.Load(),
+			"received":           s.stats.received.Load(),
+			"duplicates":         s.stats.duplicates.Load(),
+			"propagate_failures": s.stats.propFailures.Load(),
+		},
+		Gauges: map[string]float64{
+			"input_pipes": float64(inputs),
+		},
+	}
+}
+
+// SeenCache exposes the duplicate-suppression cache for the "seen"
+// subsystem aggregation; nil when dedupe is disabled.
+func (s *Service) SeenCache() *seen.Cache {
+	if s.cfg.DisableDedupe {
+		return nil
+	}
+	return s.seen
 }
 
 // handle delivers propagated wire messages to the local input pipe.

@@ -1,0 +1,277 @@
+// Package admin embeds an HTTP/JSON-RPC control-plane server in a TPS
+// peer: the read side of the observability story. It serves the obs
+// registry's stats view and the peer's structural introspection over
+// plain GETs (curl-friendly) and a small JSON-RPC 2.0 method set over
+// one POST endpoint (tool-friendly) — the tendermint rpc/http_server
+// shape, scoped down to what a pub/sub peer needs.
+//
+// Endpoints, all rooted at the configured listen address:
+//
+//	GET  /stats          — obs.View: every subsystem's counters, gauges, rates
+//	GET  /peers          — connected peers, leases, failure-detector state
+//	GET  /subscriptions  — live subscription table across engines
+//	GET  /health         — 200 {"status":"ok"} or 503 {"status":"degraded",...}
+//	POST /rpc            — JSON-RPC 2.0: stats, peers, subscriptions, health, ping
+//
+// The server is off unless explicitly configured (tps.Config.AdminAddr)
+// and binds whatever address it is given — bind loopback unless the
+// network is trusted; there is no authentication layer.
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/obs"
+)
+
+// DefaultPort is the conventional admin port, used by cmd/rendezvous
+// and assumed by cmd/tpsctl when only a seed address is given.
+const DefaultPort = 7700
+
+// closeTimeout bounds graceful shutdown: in-flight requests get this
+// long before the listener is torn down hard.
+const closeTimeout = 2 * time.Second
+
+// Config wires the server to its data sources. Registry is mandatory;
+// nil Inspect or Health degrade the corresponding endpoints gracefully
+// (empty inspection, always-ok health).
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7700" or ":0".
+	Addr string
+	// Registry supplies GET /stats.
+	Registry *obs.Registry
+	// Inspect supplies GET /peers and /subscriptions.
+	Inspect func() obs.Inspection
+	// Health reports nil when the peer is healthy; the error becomes
+	// the degradation reason on GET /health (status 503).
+	Health func() error
+}
+
+// Server is a running admin endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ErrNoRegistry is returned by New when Config.Registry is nil.
+var ErrNoRegistry = errors.New("admin: nil stats registry")
+
+// New binds the address and starts serving. Close releases it.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, ErrNoRegistry
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close drains in-flight requests briefly, then tears the server down.
+// Platform.Close calls it before the substrate stops, so /stats never
+// observes a half-closed peer.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Handler builds the admin mux for the given sources. New uses it; tests
+// mount it on httptest servers.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		writeJSON(w, http.StatusOK, cfg.Registry.Collect())
+	})
+	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		in := inspect(cfg)
+		writeJSON(w, http.StatusOK, peersDoc(in))
+	})
+	mux.HandleFunc("/subscriptions", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		in := inspect(cfg)
+		writeJSON(w, http.StatusOK, subscriptionsDoc(in))
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		doc, code := healthDoc(cfg)
+		writeJSON(w, code, doc)
+	})
+	mux.HandleFunc("/rpc", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "rpc is POST-only", http.StatusMethodNotAllowed)
+			return
+		}
+		serveRPC(cfg, w, r)
+	})
+	return mux
+}
+
+func inspect(cfg Config) obs.Inspection {
+	if cfg.Inspect == nil {
+		return obs.Inspection{Schema: obs.SchemaVersion}
+	}
+	return cfg.Inspect()
+}
+
+// peersDoc trims an Inspection to its peer table, keeping the identity
+// envelope so the document stands alone.
+func peersDoc(in obs.Inspection) any {
+	return struct {
+		Schema int             `json:"schema"`
+		PeerID string          `json:"peer_id"`
+		Name   string          `json:"name,omitempty"`
+		Peers  []obs.PeerEntry `json:"peers"`
+	}{in.Schema, in.PeerID, in.Name, orEmptyPeers(in.Peers)}
+}
+
+// subscriptionsDoc trims an Inspection to its subscription table.
+func subscriptionsDoc(in obs.Inspection) any {
+	return struct {
+		Schema        int                     `json:"schema"`
+		PeerID        string                  `json:"peer_id"`
+		Types         []string                `json:"types,omitempty"`
+		Subscriptions []obs.SubscriptionEntry `json:"subscriptions"`
+	}{in.Schema, in.PeerID, in.Types, orEmptySubs(in.Subscriptions)}
+}
+
+func healthDoc(cfg Config) (any, int) {
+	type doc struct {
+		Schema int    `json:"schema"`
+		Status string `json:"status"`
+		Reason string `json:"reason,omitempty"`
+	}
+	if cfg.Health != nil {
+		if err := cfg.Health(); err != nil {
+			return doc{obs.SchemaVersion, "degraded", err.Error()}, http.StatusServiceUnavailable
+		}
+	}
+	return doc{Schema: obs.SchemaVersion, Status: "ok"}, http.StatusOK
+}
+
+// orEmptyPeers keeps /peers serving `"peers": []` rather than `null`.
+func orEmptyPeers(in []obs.PeerEntry) []obs.PeerEntry {
+	if in == nil {
+		return []obs.PeerEntry{}
+	}
+	return in
+}
+
+func orEmptySubs(in []obs.SubscriptionEntry) []obs.SubscriptionEntry {
+	if in == nil {
+		return []obs.SubscriptionEntry{}
+	}
+	return in
+}
+
+func allowGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "read-only endpoint", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(buf)
+	w.Write([]byte{'\n'})
+}
+
+// JSON-RPC 2.0 error codes (the standard set).
+const (
+	rpcParseError     = -32700
+	rpcInvalidRequest = -32600
+	rpcMethodNotFound = -32601
+)
+
+type rpcRequest struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+type rpcResponse struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  any             `json:"result,omitempty"`
+	Error   *rpcError       `json:"error,omitempty"`
+}
+
+// serveRPC answers one JSON-RPC request. Methods mirror the GET
+// endpoints one-to-one so every client can pick its transport style.
+func serveRPC(cfg Config, w http.ResponseWriter, r *http.Request) {
+	var req rpcRequest
+	resp := rpcResponse{JSONRPC: "2.0"}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		resp.Error = &rpcError{rpcParseError, "parse error: " + err.Error()}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp.ID = req.ID
+	if req.JSONRPC != "" && req.JSONRPC != "2.0" {
+		resp.Error = &rpcError{rpcInvalidRequest, "unsupported jsonrpc version " + req.JSONRPC}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	switch req.Method {
+	case "stats":
+		resp.Result = cfg.Registry.Collect()
+	case "peers":
+		resp.Result = peersDoc(inspect(cfg))
+	case "subscriptions":
+		resp.Result = subscriptionsDoc(inspect(cfg))
+	case "inspect":
+		resp.Result = inspect(cfg)
+	case "health":
+		doc, _ := healthDoc(cfg)
+		resp.Result = doc
+	case "ping":
+		resp.Result = "pong"
+	default:
+		resp.Error = &rpcError{rpcMethodNotFound, "unknown method " + req.Method}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,75 @@
+package obs
+
+// inspect.go defines the introspection view the admin surface serves on
+// /peers and /subscriptions and tps.Platform.Inspect() returns: not
+// counters but *structure* — who this peer is connected to and in what
+// health, and which type subscriptions are live. Like View, the JSON
+// shape is governed by SchemaVersion.
+
+// Peer-entry kinds.
+const (
+	// PeerRendezvous is a rendezvous this peer holds a lease with.
+	PeerRendezvous = "rendezvous"
+	// PeerClient is an edge peer leased to this (rendezvous) peer.
+	PeerClient = "client"
+	// PeerSeed is a configured seed address, connected or not.
+	PeerSeed = "seed"
+)
+
+// PeerEntry describes one remote peer (or configured seed) and the
+// failure-detector state of its address.
+type PeerEntry struct {
+	// ID is the remote peer's URN; empty for seeds we never reached.
+	ID string `json:"id,omitempty"`
+	// Addr is the endpoint address sends go to.
+	Addr string `json:"addr,omitempty"`
+	// Kind is one of PeerRendezvous, PeerClient, PeerSeed.
+	Kind string `json:"kind"`
+	// Group scopes client leases; empty for the wildcard daemon mesh.
+	Group string `json:"group,omitempty"`
+	// ExpiresInMS is the remaining lease time; 0 when not leased.
+	ExpiresInMS int64 `json:"expires_in_ms,omitempty"`
+	// Fails is the address's consecutive send-failure count.
+	Fails int `json:"fails,omitempty"`
+	// Suspect reports the failure detector is probing the address.
+	Suspect bool `json:"suspect,omitempty"`
+	// BreakerOpenMS is the remaining eviction-breaker cooldown; 0 when
+	// the breaker is closed.
+	BreakerOpenMS int64 `json:"breaker_open_ms,omitempty"`
+}
+
+// SubscriptionEntry describes the live delivery state of one subscribed
+// type hierarchy root.
+type SubscriptionEntry struct {
+	// Type is the registry path of the subscription's root type.
+	Type string `json:"type"`
+	// Subscribers is how many callback registrations target the root.
+	Subscribers int `json:"subscribers"`
+	// Attachments is how many per-type event groups are joined for the
+	// root's subtree.
+	Attachments int `json:"attachments"`
+	// Ready is how many of those attachments are connected and
+	// delivering.
+	Ready int `json:"ready"`
+}
+
+// Inspection is the structural self-description of one peer.
+type Inspection struct {
+	// Schema is SchemaVersion at build time.
+	Schema int `json:"schema"`
+	// PeerID is this peer's URN.
+	PeerID string `json:"peer_id"`
+	// Name is the peer's human-readable name.
+	Name string `json:"name,omitempty"`
+	// Addresses are this peer's reachable addresses, best first.
+	Addresses []string `json:"addresses,omitempty"`
+	// Rendezvous reports whether the peer runs the rendezvous/relay
+	// daemon stack.
+	Rendezvous bool `json:"rendezvous,omitempty"`
+	// Peers lists connected peers, leased clients and configured seeds.
+	Peers []PeerEntry `json:"peers"`
+	// Subscriptions lists the live subscription table across engines.
+	Subscriptions []SubscriptionEntry `json:"subscriptions"`
+	// Types lists every registered event-type path.
+	Types []string `json:"types,omitempty"`
+}

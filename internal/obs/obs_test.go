@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectMergesProvidersByName(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("wire", func() Snapshot {
+		return Snapshot{Name: "wire", Version: 1,
+			Counters: map[string]int64{"sent": 3},
+			Gauges:   map[string]float64{"input_pipes": 1}}
+	})
+	r.RegisterFunc("wire", func() Snapshot {
+		return Snapshot{Name: "wire", Version: 1,
+			Counters: map[string]int64{"sent": 4, "received": 2},
+			Gauges:   map[string]float64{"input_pipes": 2}}
+	})
+	r.RegisterFunc("engine", func() Snapshot {
+		return Snapshot{Name: "engine", Version: 1, Counters: map[string]int64{"published": 9}}
+	})
+
+	v := r.Collect()
+	if v.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", v.Schema, SchemaVersion)
+	}
+	if len(v.Subsystems) != 2 {
+		t.Fatalf("subsystems = %d, want 2", len(v.Subsystems))
+	}
+	// Sorted by name: engine before wire.
+	if v.Subsystems[0].Name != "engine" || v.Subsystems[1].Name != "wire" {
+		t.Fatalf("order = %s,%s", v.Subsystems[0].Name, v.Subsystems[1].Name)
+	}
+	if got := v.Counter("wire", "sent"); got != 7 {
+		t.Fatalf("wire.sent = %d, want 7", got)
+	}
+	w, _ := v.Subsystem("wire")
+	if w.Gauges["input_pipes"] != 3 {
+		t.Fatalf("wire.input_pipes = %v, want 3", w.Gauges["input_pipes"])
+	}
+}
+
+func TestCollectDerivesRates(t *testing.T) {
+	now := time.Unix(1000, 0)
+	r := NewRegistry()
+	r.SetClock(func() time.Time { return now })
+	var sent atomic.Int64
+	sent.Store(10)
+	r.RegisterFunc("wire", func() Snapshot {
+		return Snapshot{Name: "wire", Version: 1, Counters: map[string]int64{"sent": sent.Load()}}
+	})
+
+	first := r.Collect()
+	if first.IntervalMS != 0 || len(first.Rates) != 0 {
+		t.Fatalf("first collect should have no interval/rates, got %v / %v", first.IntervalMS, first.Rates)
+	}
+	sent.Store(30)
+	now = now.Add(2 * time.Second)
+	second := r.Collect()
+	if second.IntervalMS != 2000 {
+		t.Fatalf("interval = %dms, want 2000", second.IntervalMS)
+	}
+	if got := second.Rates["wire.sent"]; got != 10 {
+		t.Fatalf("wire.sent rate = %v, want 10/s", got)
+	}
+}
+
+func TestUnregisterRemovesProvider(t *testing.T) {
+	r := NewRegistry()
+	remove := r.RegisterFunc("engine", func() Snapshot {
+		return Snapshot{Name: "engine", Version: 1, Counters: map[string]int64{"published": 1}}
+	})
+	if n := len(r.Collect().Subsystems); n != 1 {
+		t.Fatalf("subsystems = %d, want 1", n)
+	}
+	remove()
+	remove() // idempotent
+	if n := len(r.Collect().Subsystems); n != 0 {
+		t.Fatalf("subsystems after remove = %d, want 0", n)
+	}
+}
+
+func TestViewJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc("seen", func() Snapshot {
+		return Snapshot{Name: "seen", Version: 1,
+			Counters: map[string]int64{"observed": 5},
+			Gauges:   map[string]float64{"entries": 2}}
+	})
+	buf, err := json.Marshal(r.Collect())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema     int   `json:"schema"`
+		TakenAtMS  int64 `json:"taken_at_ms"`
+		Subsystems []struct {
+			Name     string             `json:"name"`
+			Version  int                `json:"version"`
+			Counters map[string]int64   `json:"counters"`
+			Gauges   map[string]float64 `json:"gauges"`
+		} `json:"subsystems"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SchemaVersion || doc.TakenAtMS == 0 {
+		t.Fatalf("bad envelope: %+v", doc)
+	}
+	if len(doc.Subsystems) != 1 || doc.Subsystems[0].Counters["observed"] != 5 {
+		t.Fatalf("bad subsystems: %+v", doc.Subsystems)
+	}
+}
+
+// TestCollectConcurrent exercises Collect and Register/unregister under
+// the race detector while providers read a hot counter.
+func TestCollectConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var hot atomic.Int64
+	snap := func() Snapshot {
+		return Snapshot{Name: "engine", Version: 1, Counters: map[string]int64{"published": hot.Load()}}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				hot.Add(1)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				remove := r.RegisterFunc("engine", snap)
+				r.Collect()
+				remove()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		r.Collect()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -49,14 +49,19 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"time"
 
 	"github.com/tps-p2p/tps/internal/core/codec"
+	"github.com/tps-p2p/tps/internal/core/engine"
 	"github.com/tps-p2p/tps/internal/core/typereg"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/jxta/seen"
 	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
+	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/admin"
 )
 
 // Transport is a pluggable network transport. The TCP transport is
@@ -111,6 +116,12 @@ type Config struct {
 	FindInterval time.Duration
 	// LeaseTTL overrides the rendezvous lease duration.
 	LeaseTTL time.Duration
+	// AdminAddr, when non-empty (e.g. "127.0.0.1:7700" or
+	// "127.0.0.1:0"), serves the embedded HTTP/JSON-RPC admin surface on
+	// that address: GET /stats, /peers, /subscriptions, /health and POST
+	// /rpc (see OBSERVABILITY.md). Off by default. The server carries no
+	// authentication — bind loopback unless the network is trusted.
+	AdminAddr string
 }
 
 // Option customises NewPlatform.
@@ -135,6 +146,18 @@ type Platform struct {
 	ftime  time.Duration
 	fint   time.Duration
 	daemon *peer.Daemon
+	name   string
+
+	// Observability: the stats registry every subsystem snapshots into,
+	// and the optional embedded admin server reading from it.
+	obsreg *obs.Registry
+	admin  *admin.Server
+	tcp    *tcpnet.Transport
+
+	// engMu guards the live core engines, tracked so Stats and Inspect
+	// cover engines created at any time.
+	engMu   sync.Mutex
+	engines []*engine.Engine
 }
 
 // NewPlatform boots the peer-to-peer substrate: transports, net peer
@@ -145,11 +168,13 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		opt(&po)
 	}
 	transports := po.transports
+	var tcp *tcpnet.Transport
 	if cfg.ListenTCP != "" {
 		t, err := tcpnet.Listen(cfg.ListenTCP)
 		if err != nil {
 			return nil, psErr("platform", err)
 		}
+		tcp = t
 		transports = append(transports, t)
 	}
 	if len(transports) == 0 {
@@ -178,11 +203,14 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		return nil, psErr("platform", err)
 	}
 	pl := &Platform{
-		peer:  p,
-		reg:   typereg.New(),
-		codec: c,
-		ftime: cfg.FindTimeout,
-		fint:  cfg.FindInterval,
+		peer:   p,
+		reg:    typereg.New(),
+		codec:  c,
+		ftime:  cfg.FindTimeout,
+		fint:   cfg.FindInterval,
+		name:   cfg.Name,
+		obsreg: obs.NewRegistry(),
+		tcp:    tcp,
 	}
 	if cfg.Rendezvous {
 		d, err := p.EnableDaemon()
@@ -192,7 +220,122 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		}
 		pl.daemon = d
 	}
+	pl.registerProviders()
+	if cfg.AdminAddr != "" {
+		srv, err := admin.New(admin.Config{
+			Addr:     cfg.AdminAddr,
+			Registry: pl.obsreg,
+			Inspect:  pl.Inspect,
+			Health:   pl.health,
+		})
+		if err != nil {
+			pl.Close()
+			return nil, psErr("platform", err)
+		}
+		pl.admin = srv
+	}
 	return pl, nil
+}
+
+// registerProviders wires the six instrumented subsystems into the
+// stats registry. Providers are aggregate closures evaluated at Collect
+// time, so groups joined and engines created later are covered without
+// re-registration; the per-message hot paths are untouched (they keep
+// bumping the same atomic counters and pay nothing until a collect).
+func (p *Platform) registerProviders() {
+	r := p.obsreg
+	r.RegisterFunc("endpoint", func() obs.Snapshot {
+		return p.peer.Endpoint().Snapshot()
+	})
+	if p.tcp != nil {
+		r.RegisterFunc("tcpnet", func() obs.Snapshot { return p.tcp.Snapshot() })
+	}
+	r.RegisterFunc("engine", func() obs.Snapshot {
+		engines := p.coreEngines()
+		if len(engines) == 0 {
+			return engine.ZeroSnapshot()
+		}
+		snaps := make([]obs.Snapshot, 0, len(engines))
+		for _, e := range engines {
+			snaps = append(snaps, e.Snapshot())
+		}
+		return obs.Merge("engine", snaps...)
+	})
+	r.RegisterFunc("wire", func() obs.Snapshot {
+		var snaps []obs.Snapshot
+		for _, g := range p.peer.Groups() {
+			if g.Wire != nil {
+				snaps = append(snaps, g.Wire.Snapshot())
+			}
+		}
+		return obs.Merge("wire", snaps...)
+	})
+	r.RegisterFunc("rendezvous", func() obs.Snapshot {
+		var snaps []obs.Snapshot
+		for _, g := range p.peer.Groups() {
+			if g.Rendezvous != nil {
+				snaps = append(snaps, g.Rendezvous.Snapshot())
+			}
+		}
+		if p.daemon != nil && p.daemon.Rendezvous != nil {
+			snaps = append(snaps, p.daemon.Rendezvous.Snapshot())
+		}
+		return obs.Merge("rendezvous", snaps...)
+	})
+	r.RegisterFunc("seen", func() obs.Snapshot {
+		var snaps []obs.Snapshot
+		for _, c := range p.seenCaches() {
+			snaps = append(snaps, c.Snapshot())
+		}
+		return obs.Merge("seen", snaps...)
+	})
+}
+
+// seenCaches collects every live dedupe cache: the wire and rendezvous
+// caches of each joined group, the daemon's, and each engine's
+// event-level cache.
+func (p *Platform) seenCaches() []*seen.Cache {
+	var out []*seen.Cache
+	for _, g := range p.peer.Groups() {
+		if g.Wire != nil {
+			if c := g.Wire.SeenCache(); c != nil {
+				out = append(out, c)
+			}
+		}
+		if g.Rendezvous != nil {
+			out = append(out, g.Rendezvous.SeenCache())
+		}
+	}
+	if p.daemon != nil && p.daemon.Rendezvous != nil {
+		out = append(out, p.daemon.Rendezvous.SeenCache())
+	}
+	for _, e := range p.coreEngines() {
+		out = append(out, e.SeenCache())
+	}
+	return out
+}
+
+func (p *Platform) coreEngines() []*engine.Engine {
+	p.engMu.Lock()
+	defer p.engMu.Unlock()
+	return append([]*engine.Engine(nil), p.engines...)
+}
+
+func (p *Platform) trackEngine(e *engine.Engine) {
+	p.engMu.Lock()
+	defer p.engMu.Unlock()
+	p.engines = append(p.engines, e)
+}
+
+func (p *Platform) untrackEngine(e *engine.Engine) {
+	p.engMu.Lock()
+	defer p.engMu.Unlock()
+	for i, cur := range p.engines {
+		if cur == e {
+			p.engines = append(p.engines[:i], p.engines[i+1:]...)
+			return
+		}
+	}
 }
 
 func defaultStr(s, def string) string {
@@ -222,9 +365,96 @@ func (p *Platform) AwaitRendezvous(timeout time.Duration) bool {
 	return net != nil && net.AwaitRendezvous(timeout)
 }
 
-// Close shuts the platform down: all engines' groups, the daemon stack
-// if any, and the transports.
+// StatsView is the coherent multi-subsystem metrics view Platform.Stats
+// returns and the admin surface serves on GET /stats: one snapshot per
+// instrumented subsystem (engine, wire, endpoint, tcpnet, rendezvous,
+// seen) plus per-second rates derived between calls. See
+// OBSERVABILITY.md for the schema.
+type StatsView = obs.View
+
+// StatsSnapshot is one subsystem's named counters and gauges inside a
+// StatsView.
+type StatsSnapshot = obs.Snapshot
+
+// Inspection is the structural self-description Platform.Inspect
+// returns: connected peers with failure-detector state, the live
+// subscription table, and the registered type catalog.
+type Inspection = obs.Inspection
+
+// PeerEntry is one remote peer (or configured seed) in an Inspection.
+type PeerEntry = obs.PeerEntry
+
+// SubscriptionEntry is one subscribed type root in an Inspection.
+type SubscriptionEntry = obs.SubscriptionEntry
+
+// Stats collects a point-in-time view of every instrumented subsystem.
+// It is safe to call at any time, concurrently with publishing and
+// delivery: subsystems count on atomic counters, and collection adds
+// nothing to the publish→deliver hot path.
+func (p *Platform) Stats() StatsView { return p.obsreg.Collect() }
+
+// Inspect reports the peer's structure: identity, connected peers and
+// their failure-detector state, live subscriptions, registered types.
+func (p *Platform) Inspect() Inspection {
+	in := Inspection{
+		Schema:     obs.SchemaVersion,
+		PeerID:     p.PeerID(),
+		Name:       p.name,
+		Addresses:  p.Addresses(),
+		Rendezvous: p.daemon != nil,
+	}
+	for _, g := range p.peer.Groups() {
+		if g.Rendezvous != nil {
+			in.Peers = append(in.Peers, g.Rendezvous.PeersView()...)
+		}
+	}
+	if p.daemon != nil && p.daemon.Rendezvous != nil {
+		in.Peers = append(in.Peers, p.daemon.Rendezvous.PeersView()...)
+	}
+	for _, e := range p.coreEngines() {
+		in.Subscriptions = append(in.Subscriptions, e.SubscriptionsView()...)
+	}
+	in.Types = p.reg.Paths()
+	return in
+}
+
+// AdminAddr returns the bound address of the embedded admin server, or
+// "" when Config.AdminAddr was empty. With ":0" configured this is how
+// the ephemeral port is discovered.
+func (p *Platform) AdminAddr() string {
+	if p.admin == nil {
+		return ""
+	}
+	return p.admin.Addr()
+}
+
+// health is the admin /health source: a seeded peer that holds no
+// rendezvous lease (what AwaitRendezvous would time out on) is
+// degraded; unseeded peers and rendezvous daemons are healthy while
+// running.
+func (p *Platform) health() error {
+	net := p.peer.NetGroup()
+	if net == nil {
+		return errors.New("platform closed")
+	}
+	rdv := net.Rendezvous
+	if rdv == nil {
+		return errors.New("net group closed")
+	}
+	if rdv.Seeded() && len(rdv.ConnectedRendezvous()) == 0 {
+		return errors.New("no rendezvous lease held")
+	}
+	return nil
+}
+
+// Close shuts the platform down: the admin server first (so /stats
+// never reads a half-closed substrate), then all engines' groups, the
+// daemon stack if any, and the transports.
 func (p *Platform) Close() {
+	if p.admin != nil {
+		_ = p.admin.Close()
+		p.admin = nil
+	}
 	if p.daemon != nil {
 		p.daemon.Close()
 		p.daemon = nil
