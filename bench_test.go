@@ -14,12 +14,14 @@ import (
 
 	tps "github.com/tps-p2p/tps"
 	"github.com/tps-p2p/tps/internal/benchkit"
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
 	"github.com/tps-p2p/tps/internal/netsim"
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/core/typereg"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
 	"github.com/tps-p2p/tps/internal/srapp"
 )
@@ -365,6 +367,54 @@ func TestHotPathAllocBudget(t *testing.T) {
 	})
 	if unmarshalAllocs > 8 {
 		t.Errorf("Unmarshal allocates %.1f/op, budget is 8 (seed was 19)", unmarshalAllocs)
+	}
+
+	// The durable log's only presence on the log-off delivery path is the
+	// ReplayInfo probe for the rdv:Seq cursor stamp. On a message that
+	// never crossed a logging rendezvous (the default configuration) that
+	// probe must cost nothing — the e2e budget above runs with the log
+	// off, and this pins the reason it can.
+	replayAllocs := testing.AllocsPerRun(200, func() {
+		if _, _, ok := rendezvous.ReplayInfo(m); ok {
+			t.Fatal("unstamped message must have no replay info")
+		}
+	})
+	if replayAllocs > 0 {
+		t.Errorf("ReplayInfo on an unstamped message allocates %.1f/op, budget is 0", replayAllocs)
+	}
+}
+
+// BenchmarkEventLogAppend measures the durable log's append cost at the
+// paper's frame size, per fsync policy. This is the price a rendezvous
+// pays on its forwarding path when durability is enabled; the log-off
+// default pays none of it (TestHotPathAllocBudget pins that).
+func BenchmarkEventLogAppend(b *testing.B) {
+	frame := make([]byte, 1990) // paper-sized event frame incl. envelope
+	for _, pol := range []struct {
+		name string
+		sync eventlog.SyncPolicy
+	}{
+		{"none", eventlog.SyncNone},
+		{"roll", eventlog.SyncRoll},
+		{"always", eventlog.SyncAlways},
+	} {
+		b.Run(pol.name, func(b *testing.B) {
+			log, err := eventlog.Open(eventlog.Config{Dir: b.TempDir(), Sync: pol.sync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := log.Append("bench-topic", func(uint64) ([]byte, error) {
+					return frame, nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

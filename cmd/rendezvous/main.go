@@ -36,20 +36,24 @@ func main() {
 		name      = flag.String("name", "rendezvous", "peer name")
 		adminAddr = flag.String("admin", fmt.Sprintf("127.0.0.1:%d", admin.DefaultPort),
 			"HTTP admin address serving /stats, /peers, /health (empty disables)")
+		logDir  = flag.String("log-dir", "", "directory for the durable event log (empty disables durability)")
+		logSync = flag.String("log-sync", "", `event log fsync policy: "none", "roll" or "always"`)
 	)
 	flag.Parse()
-	if err := run(*listen, *seeds, *name, *adminAddr); err != nil {
+	if err := run(*listen, *seeds, *name, *adminAddr, *logDir, *logSync); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, seeds, name, adminAddr string) error {
+func run(listen, seeds, name, adminAddr, logDir, logSync string) error {
 	cfg := tps.Config{
 		Name:       name,
 		ListenTCP:  listen,
 		Rendezvous: true,
 		AdminAddr:  adminAddr,
+		LogDir:     logDir,
+		LogSync:    logSync,
 	}
 	if seeds != "" {
 		for _, s := range strings.Split(seeds, ",") {

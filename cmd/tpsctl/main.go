@@ -18,6 +18,7 @@
 //	tpsctl stats -seed tcp://rdv:9701               # same, address derived
 //	tpsctl peers -admin 127.0.0.1:7700              # leases, seeds, health
 //	tpsctl subs  -admin 127.0.0.1:7700              # subscriptions and types
+//	tpsctl log   -admin 127.0.0.1:7700              # durable event log: retained ranges, cursor lag
 //	tpsctl watch -admin 127.0.0.1:7700 -interval 2s # poll /stats, print deltas
 package main
 
@@ -54,13 +55,13 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
-			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | watch")
+			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | log | watch")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
-	case "stats", "peers", "subs", "watch":
+	case "stats", "peers", "subs", "log", "watch":
 		err = adminCommand(cmd, args, *seeds)
 	default:
 		err = run(cmd, args, *listen, *seeds, *name, *wait)
@@ -94,6 +95,8 @@ func adminCommand(cmd string, args []string, globalSeed string) error {
 		return showPeers(base)
 	case "subs":
 		return showSubs(base)
+	case "log":
+		return showLog(base)
 	case "watch":
 		return watchStats(base, *interval)
 	}
@@ -203,6 +206,61 @@ func showSubs(base string) error {
 		fmt.Printf("registered types: %s\n", strings.Join(doc.Types, ", "))
 	}
 	return nil
+}
+
+// showLog renders the peer's durable event log state: retained
+// sequence ranges per topic, and — when the peer also tracks replay
+// cursors — how far each cursor lags behind the retained tail.
+func showLog(base string) error {
+	var resp struct {
+		Result obs.Inspection `json:"result"`
+	}
+	if err := postRPC(base, "inspect", &resp); err != nil {
+		return err
+	}
+	in := resp.Result
+	if len(in.EventLog) == 0 && len(in.Cursors) == 0 {
+		fmt.Println("no event log (peer runs without -log-dir) and no replay cursors")
+		return nil
+	}
+	if len(in.EventLog) > 0 {
+		fmt.Printf("%-28s %-22s %-10s %s\n", "TOPIC", "RETAINED", "SEGMENTS", "BYTES")
+		for _, t := range in.EventLog {
+			fmt.Printf("%-28s %-22s %-10d %d\n",
+				short(t.Topic), fmt.Sprintf("%d..%d", t.FirstSeq, t.LastSeq), t.Segments, t.Bytes)
+		}
+	}
+	if len(in.Cursors) > 0 {
+		// Lag is computable only when this peer also retains the topic's
+		// log (same admin endpoint); otherwise print the raw cursor.
+		last := map[string]uint64{}
+		for _, t := range in.EventLog {
+			last[t.Topic] = t.LastSeq
+		}
+		fmt.Printf("%-28s %-14s %-12s %s\n", "GROUP", "ORIGIN", "CURSOR", "LAG")
+		for _, c := range in.Cursors {
+			lag := "-"
+			if l, ok := last[c.Group]; ok && l >= c.Seq {
+				lag = fmt.Sprintf("%d", l-c.Seq)
+			}
+			fmt.Printf("%-28s %-14s %-12d %s\n", short(c.Group), short(c.Origin), c.Seq, lag)
+		}
+	}
+	return nil
+}
+
+// postRPC performs one JSON-RPC 2.0 call against POST /rpc.
+func postRPC(base, method string, into any) error {
+	body := strings.NewReader(fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":%q}`, method))
+	resp, err := http.Post(base+"/rpc", "application/json", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s/rpc: %s", base, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 // watchStats polls /stats and prints the counters that moved between

@@ -1,0 +1,192 @@
+package tps_test
+
+// durability_test.go exercises the durable event log end-to-end at the
+// TPS API surface: a rendezvous daemon started with LogDir retains
+// published events, and a subscriber that joins only after publication
+// catches up automatically — the engine's replay loop presents its
+// cursor, the daemon replays the retained suffix, and the dedupe caches
+// keep delivery exactly-once observable. No test code drives the replay
+// protocol by hand; this is what an application gets for free.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	tps "github.com/tps-p2p/tps"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+)
+
+// statCounter digs one subsystem counter out of a platform's stats view.
+func statCounter(p *tps.Platform, subsystem, key string) int64 {
+	for _, s := range p.Stats().Subsystems {
+		if s.Name == subsystem {
+			return s.Counters[key]
+		}
+	}
+	return 0
+}
+
+func TestLateJoinerCatchesUpEndToEnd(t *testing.T) {
+	net := netsim.New(netsim.Config{DefaultLink: netsim.Link{Latency: time.Millisecond}})
+	t.Cleanup(net.Close)
+
+	rdvNode, err := net.AddNode("rdv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdv, err := tps.NewPlatform(tps.Config{
+		Name:       "rdv",
+		Rendezvous: true,
+		LeaseTTL:   2 * time.Second,
+		LogDir:     t.TempDir(),
+	}, tps.WithTransport(memnet.New(rdvNode)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rdv.Close)
+
+	edge := func(name string) *tps.Platform {
+		node, err := net.AddNode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tps.NewPlatform(tps.Config{
+			Name:         name,
+			Seeds:        []string{"mem://rdv"},
+			FindTimeout:  400 * time.Millisecond,
+			FindInterval: 100 * time.Millisecond,
+			LeaseTTL:     2 * time.Second,
+		}, tps.WithTransport(memnet.New(node)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		return p
+	}
+
+	// Phase 1: publish with nobody subscribed anywhere.
+	pubP := edge("pub")
+	if err := tps.Register[SkiRental](pubP); err != nil {
+		t.Fatal(err)
+	}
+	pubEng, err := tps.NewEngine[SkiRental](pubP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubIntf, err := pubEng.NewInterface(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Durability starts at the rendezvous: an event is only loggable once
+	// it reaches the mesh, so advertise the type and wait for the group's
+	// lease before publishing anything that must survive.
+	if err := pubEng.Announce(); err != nil {
+		t.Fatal(err)
+	}
+	if !pubEng.AwaitReady(1, 5*time.Second) {
+		t.Fatal("publisher group never became ready")
+	}
+	const early = 10
+	for i := 0; i < early; i++ {
+		ev := SkiRental{Shop: fmt.Sprintf("shop-%d", i), Brand: "Salomon", Price: float64(i)}
+		if err := pubIntf.Publish(ev); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	// The daemon's log is the durability boundary: wait until it retains
+	// every event before letting the late joiner appear. The daemon logs
+	// one topic per group it relays — the net group carries discovery
+	// chatter, the SkiRental group exactly the published events — so wait
+	// for every topic's tail, which includes the event topic's.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		topics := rdv.Inspect().EventLog
+		caughtUp := len(topics) >= 2
+		for _, e := range topics {
+			if e.LastSeq < early {
+				caughtUp = false
+			}
+		}
+		if caughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon log never retained %d events: %+v", early, topics)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 2: the subscriber joins only now. Catch-up must be fully
+	// automatic — subscribe and wait, nothing else.
+	subP := edge("sub")
+	if err := tps.Register[SkiRental](subP); err != nil {
+		t.Fatal(err)
+	}
+	subEng, err := tps.NewEngine[SkiRental](subP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subIntf, err := subEng.NewInterface(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gather[SkiRental]{}
+	if err := subIntf.Subscribe(tps.CallBackFunc[SkiRental](g.Handle), nil); err != nil {
+		t.Fatal(err)
+	}
+	waitN(t, g, early)
+
+	// Phase 3: live publishing continues; replayed history and live
+	// traffic must compose into exactly-once per event.
+	const late = 5
+	for i := 0; i < late; i++ {
+		ev := SkiRental{Shop: fmt.Sprintf("shop-%d", early+i), Brand: "Salomon"}
+		if err := pubIntf.Publish(ev); err != nil {
+			t.Fatalf("late publish %d: %v", i, err)
+		}
+	}
+	waitN(t, g, early+late)
+	time.Sleep(300 * time.Millisecond) // let any stray duplicate surface
+	counts := map[string]int{}
+	for _, ev := range g.snapshot() {
+		counts[ev.Shop]++
+	}
+	if len(counts) != early+late {
+		t.Fatalf("distinct events delivered: %d, want %d", len(counts), early+late)
+	}
+	for shop, n := range counts {
+		if n != 1 {
+			t.Fatalf("event %s delivered %d times, want exactly once", shop, n)
+		}
+	}
+
+	// The control plane must reflect what happened: the daemon's log
+	// retains the full range and served a replay; the subscriber's
+	// cursor points at the retained tail.
+	if served := statCounter(rdv, "rendezvous", "replay_served"); served < early {
+		t.Fatalf("daemon served %d replayed events, want >= %d", served, early)
+	}
+	cursors := subP.Inspect().Cursors
+	if len(cursors) == 0 {
+		t.Fatal("subscriber inspection reports no replay cursors")
+	}
+	// The subscriber's cursor names its group, which is the daemon's log
+	// topic: the two views must agree on the retained range.
+	var foundTopic bool
+	for _, e := range rdv.Inspect().EventLog {
+		if e.Topic == cursors[0].Group {
+			foundTopic = true
+			if e.LastSeq < early {
+				t.Fatalf("daemon retains %s only to %d, want >= %d", e.Topic, e.LastSeq, early)
+			}
+		}
+	}
+	if !foundTopic {
+		t.Fatalf("daemon log has no topic for group %s: %+v", cursors[0].Group, rdv.Inspect().EventLog)
+	}
+	if cursors[0].Seq < early {
+		t.Fatalf("subscriber cursor at %d, want >= %d", cursors[0].Seq, early)
+	}
+}

@@ -15,9 +15,11 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
@@ -43,6 +45,13 @@ type Config struct {
 	SuspectAfter  int
 	EvictAfter    int
 	EvictCooldown time.Duration
+	// LogDir, when non-empty, gives every rendezvous peer a durable
+	// event log at LogDir/<name>, so killing and re-adding a rendezvous
+	// under the same name exercises crash recovery against its old
+	// segments.
+	LogDir string
+	// LogRetention bounds those logs (zero fields take the defaults).
+	LogRetention eventlog.Retention
 }
 
 // Defaults for zero Config fields.
@@ -60,6 +69,7 @@ type Cluster struct {
 
 	mu       sync.Mutex
 	peers    map[string]*Peer
+	idSeeds  map[string]uint64
 	nextSeed uint64
 }
 
@@ -69,6 +79,7 @@ type Peer struct {
 	Node *netsim.Node
 	EP   *endpoint.Service
 	Rdv  *rendezvous.Service
+	Log  *eventlog.Log
 }
 
 // New creates a cluster.
@@ -89,9 +100,10 @@ func New(cfg Config) *Cluster {
 		cfg.Link = netsim.Link{Latency: time.Millisecond}
 	}
 	return &Cluster{
-		Net:   netsim.New(netsim.Config{Seed: cfg.Seed, DefaultLink: cfg.Link}),
-		cfg:   cfg,
-		peers: make(map[string]*Peer),
+		Net:     netsim.New(netsim.Config{Seed: cfg.Seed, DefaultLink: cfg.Link}),
+		cfg:     cfg,
+		peers:   make(map[string]*Peer),
+		idSeeds: make(map[string]uint64),
 	}
 }
 
@@ -117,14 +129,32 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 	if err != nil {
 		return nil, err
 	}
+	// A peer re-added under a killed peer's name keeps that peer's ID,
+	// matching real restart semantics (identity survives the crash).
 	c.mu.Lock()
-	c.nextSeed++
-	idSeed := c.nextSeed
+	idSeed, known := c.idSeeds[name]
+	if !known {
+		c.nextSeed++
+		idSeed = c.nextSeed
+		c.idSeeds[name] = idSeed
+	}
 	c.mu.Unlock()
 	ep := endpoint.New(jid.FromSeed(jid.KindPeer, idSeed))
 	if err := ep.AddTransport(memnet.New(node)); err != nil {
 		node.Close()
 		return nil, err
+	}
+	var elog *eventlog.Log
+	if role == rendezvous.RoleRendezvous && c.cfg.LogDir != "" {
+		elog, err = eventlog.Open(eventlog.Config{
+			Dir:       filepath.Join(c.cfg.LogDir, name),
+			Retention: c.cfg.LogRetention,
+		})
+		if err != nil {
+			_ = ep.Close()
+			node.Close()
+			return nil, err
+		}
 	}
 	addrs := make([]endpoint.Address, len(seeds))
 	for i, s := range seeds {
@@ -138,13 +168,17 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 		SuspectAfter:  c.cfg.SuspectAfter,
 		EvictAfter:    c.cfg.EvictAfter,
 		EvictCooldown: c.cfg.EvictCooldown,
+		Log:           elog,
 	})
 	if err != nil {
+		if elog != nil {
+			_ = elog.Close()
+		}
 		_ = ep.Close()
 		node.Close()
 		return nil, err
 	}
-	p := &Peer{Name: name, Node: node, EP: ep, Rdv: rdv}
+	p := &Peer{Name: name, Node: node, EP: ep, Rdv: rdv, Log: elog}
 	c.mu.Lock()
 	c.peers[name] = p
 	c.mu.Unlock()
@@ -176,6 +210,12 @@ func (c *Cluster) Kill(name string) {
 		p.Node.Close()
 		p.Rdv.Close()
 		_ = p.EP.Close()
+		// Release the log's file handles so a re-added peer of the same
+		// name can recover the directory. Entries were written straight
+		// through; anything half-appended is the torn tail recovery eats.
+		if p.Log != nil {
+			_ = p.Log.Close()
+		}
 	}
 }
 
@@ -212,6 +252,9 @@ func (c *Cluster) Close() {
 	for _, p := range peers {
 		p.Rdv.Close()
 		_ = p.EP.Close()
+		if p.Log != nil {
+			_ = p.Log.Close()
+		}
 	}
 	c.Net.Close()
 }
@@ -248,6 +291,13 @@ func (s *Sink) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.msgs)
+}
+
+// Msgs returns the received messages in arrival order.
+func (s *Sink) Msgs() []*message.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*message.Message(nil), s.msgs...)
 }
 
 // Bodies returns the "app"/"body" text of every received message.

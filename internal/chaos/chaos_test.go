@@ -195,7 +195,8 @@ func TestDeadPeerEvictedBehindBreaker(t *testing.T) {
 		return rdvA.Rdv.Stats().BreakerSkips >= 1
 	})
 
-	// The peer restarts (same name, fresh identity). After the cooldown
+	// The peer restarts (same name, and — as for any restarted peer —
+	// the same identity). After the cooldown
 	// rdv-a's seed loop may dial again and the mesh must re-form without
 	// manual help.
 	add(c.AddRendezvous("rdv-b"))

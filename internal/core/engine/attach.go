@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/jxta/adv"
@@ -9,6 +10,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/peergroup"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/wire"
 )
 
@@ -34,6 +36,14 @@ type attachment struct {
 	pipeAdv *adv.PipeAdv
 	in      *wire.InputPipe
 	out     *wire.OutputPipe
+
+	// Replay cursors: highest log sequence delivered, per origin
+	// rendezvous, plus which rendezvous already got a replay request
+	// this connection epoch. Both maps are lazily allocated — an
+	// attachment on a log-free mesh never touches them.
+	curMu     sync.Mutex
+	cursors   map[jid.ID]*cursorState
+	requested map[jid.ID]bool
 }
 
 // attach joins the advertised group, opens the wire pipes and registers
@@ -72,7 +82,11 @@ func (e *Engine) attach(pg *adv.PeerGroupAdv) error {
 		in:      in,
 		out:     out,
 	}
-	in.SetListener(func(m *message.Message) { e.onWireMessage(m) })
+	in.SetListener(func(m *message.Message) { e.onWireMessage(a, m) })
+	if rdv := g.Rendezvous; rdv != nil {
+		// Replay gaps surface as exceptions on this attachment's path.
+		rdv.SetReplayGapListener(e.onGapSignal(a))
+	}
 
 	e.mu.Lock()
 	if e.closed {
@@ -146,11 +160,17 @@ func (a *attachment) close(p *peer.Peer) {
 // out). Events this peer itself published skip the decode entirely —
 // the publisher still holds the original value (publishedEvents) and
 // loopback dispatches it as-is.
-func (e *Engine) onWireMessage(msg *message.Message) {
+func (e *Engine) onWireMessage(a *attachment, msg *message.Message) {
 	eventID, err := msg.GetID(elemNS, elemEventID)
 	if err != nil {
 		e.stats.decodeErrors.Add(1)
 		return
+	}
+	// Advance the replay cursor before deduplication: a replayed event
+	// that was already delivered live still moves the cursor forward, so
+	// the next reconnect asks for less.
+	if origin, seq, ok := rendezvous.ReplayInfo(msg); ok {
+		a.noteCursor(origin, seq)
 	}
 	// The same event arrives once per attached group carrying the type;
 	// deliver it exactly once (the duplicate handling the paper's

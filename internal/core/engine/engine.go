@@ -127,6 +127,7 @@ type engineCounters struct {
 	publishErrors   atomic.Int64
 	advsCreated     atomic.Int64
 	advsFound       atomic.Int64
+	replayRequests  atomic.Int64
 }
 
 // New creates and starts an engine: the advertisement finder begins
@@ -167,8 +168,9 @@ func New(cfg Config) (*Engine, error) {
 		return nil, ErrClosed
 	}
 	e.lisTok = net.Discovery.AddListener(e.onAdvertisement)
-	e.wg.Add(1)
+	e.wg.Add(2)
 	go e.finderLoop()
+	go e.replayLoop()
 	return e, nil
 }
 
@@ -221,6 +223,7 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			"publish_failures": e.stats.publishErrors.Load(),
 			"advs_created":     e.stats.advsCreated.Load(),
 			"advs_found":       e.stats.advsFound.Load(),
+			"replay_requests":  e.stats.replayRequests.Load(),
 		},
 		Gauges: map[string]float64{
 			"attachments":   float64(attachments),
@@ -244,6 +247,7 @@ func ZeroSnapshot() obs.Snapshot {
 			"publish_failures": 0,
 			"advs_created":     0,
 			"advs_found":       0,
+			"replay_requests":  0,
 		},
 		Gauges: map[string]float64{
 			"attachments":   0,

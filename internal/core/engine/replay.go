@@ -1,0 +1,237 @@
+package engine
+
+// replay.go is the engine's half of the durable-delivery contract: the
+// per-attachment replay cursors (the highest log sequence delivered per
+// origin rendezvous, recovered from the rdv:Seq/rdv:LogSrc elements a
+// logging rendezvous stamps onto every event) and the background loop
+// that presents those cursors to each connected rendezvous on every
+// (re)connect. Replayed events come back through the ordinary wire
+// delivery path, where the engine's dedupe cache suppresses what was
+// already observed — at-least-once redelivery, exactly-once dispatch.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
+	"github.com/tps-p2p/tps/internal/obs"
+)
+
+// ReplayGapError is dispatched to exception handlers when a rendezvous
+// answered a replay request with a gap signal: events between the
+// engine's cursor and First were dropped by the log's retention (or the
+// log restarted), so they are unrecoverable — an explicit loss report,
+// never a silent one.
+type ReplayGapError struct {
+	// Path is the type path of the attachment whose group gapped.
+	Path string
+	// Topic is the log topic (the group parameter).
+	Topic string
+	// First and Last bound what the rendezvous still retains; both zero
+	// when it retains nothing.
+	First, Last uint64
+}
+
+// Error implements error.
+func (e *ReplayGapError) Error() string {
+	return fmt.Sprintf("tps: replay gap on %s: events before seq %d no longer retained (have %d..%d)",
+		e.Path, e.First, e.First, e.Last)
+}
+
+// maxPendingSeqs bounds the out-of-order set per origin. Entries beyond
+// the cap are simply not recorded; a later replay refetches them, so
+// the bound costs extra redelivery under extreme loss, never data.
+const maxPendingSeqs = 4096
+
+// cursorState tracks one origin's delivery progress. The cursor is the
+// highest CONTIGUOUS sequence delivered — not the highest seen. On a
+// lossy link a replayed suffix arrives with holes; presenting the
+// maximum would skip those holes forever, while the contiguous cursor
+// makes the next re-request refetch them (dedupe absorbs the rest).
+type cursorState struct {
+	seq     uint64
+	pending map[uint64]bool // delivered above a hole, awaiting refetch
+}
+
+// noteCursor records that an event numbered seq by origin's log was
+// observed on this attachment. Called for every delivery carrying log
+// coordinates — including duplicates, so a replayed suffix advances the
+// cursor even when the events themselves were already dispatched.
+func (a *attachment) noteCursor(origin jid.ID, seq uint64) {
+	a.curMu.Lock()
+	defer a.curMu.Unlock()
+	if a.cursors == nil {
+		a.cursors = make(map[jid.ID]*cursorState, 2)
+	}
+	st := a.cursors[origin]
+	if st == nil {
+		st = &cursorState{}
+		a.cursors[origin] = st
+	}
+	switch {
+	case seq <= st.seq:
+	case seq == st.seq+1:
+		st.seq = seq
+		for st.pending[st.seq+1] {
+			delete(st.pending, st.seq+1)
+			st.seq++
+		}
+	default:
+		if st.pending == nil {
+			st.pending = make(map[uint64]bool)
+		}
+		if len(st.pending) < maxPendingSeqs {
+			st.pending[seq] = true
+		}
+	}
+}
+
+// jumpCursor advances origin's cursor floor past a replay gap: entries
+// up to first-1 are unrecoverable, so waiting for them would stall the
+// contiguous cursor forever and re-replay the same suffix every round.
+func (a *attachment) jumpCursor(origin jid.ID, first uint64) {
+	if first == 0 {
+		return
+	}
+	a.curMu.Lock()
+	defer a.curMu.Unlock()
+	st := a.cursors[origin]
+	if st == nil || st.seq+1 >= first {
+		return
+	}
+	st.seq = first - 1
+	for st.pending[st.seq+1] {
+		delete(st.pending, st.seq+1)
+		st.seq++
+	}
+}
+
+// cursor returns the attachment's cursor for one origin (tests).
+func (a *attachment) cursor(origin jid.ID) uint64 {
+	a.curMu.Lock()
+	defer a.curMu.Unlock()
+	if st := a.cursors[origin]; st != nil {
+		return st.seq
+	}
+	return 0
+}
+
+// syncReplay sends one replay request to every rendezvous the
+// attachment's group is newly connected to, presenting the cursor held
+// for that rendezvous (zero for a first contact — a late joiner asking
+// for the full retained suffix). A rendezvous that drops off the
+// connected set is forgotten, so the next reconnect re-requests from
+// the then-current cursor: the at-least-once retry loop.
+func (a *attachment) syncReplay(e *Engine) {
+	rdv := a.group.Rendezvous
+	if rdv == nil {
+		return
+	}
+	connected := rdv.ConnectedRendezvous()
+	a.curMu.Lock()
+	defer a.curMu.Unlock()
+	if a.requested == nil {
+		a.requested = make(map[jid.ID]bool, 2)
+	}
+	live := make(map[jid.ID]bool, len(connected))
+	for _, id := range connected {
+		live[id] = true
+		if a.requested[id] {
+			continue
+		}
+		var after uint64
+		if st := a.cursors[id]; st != nil {
+			after = st.seq
+		}
+		if err := rdv.RequestReplay(id, a.group.Param(), after); err == nil {
+			a.requested[id] = true
+			e.stats.replayRequests.Add(1)
+		}
+	}
+	for id := range a.requested {
+		if !live[id] {
+			delete(a.requested, id)
+		}
+	}
+}
+
+// replayLoop periodically reconciles replay requests against the
+// current rendezvous connections. It only acts while subscriptions
+// exist: a pure publisher has nothing to catch up on.
+func (e *Engine) replayLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.fint)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.requestReplays()
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+// requestReplays runs one reconciliation round over all attachments.
+func (e *Engine) requestReplays() {
+	if e.SubscriptionCount() == 0 {
+		return
+	}
+	e.mu.Lock()
+	var atts []*attachment
+	for _, m := range e.attachments {
+		for _, a := range m {
+			atts = append(atts, a)
+		}
+	}
+	e.mu.Unlock()
+	for _, a := range atts {
+		a.syncReplay(e)
+	}
+}
+
+// CursorsView lists the engine's replay cursors — the highest log
+// sequence delivered per (group, origin rendezvous) — for the admin
+// surface.
+func (e *Engine) CursorsView() []obs.CursorEntry {
+	e.mu.Lock()
+	var atts []*attachment
+	for _, m := range e.attachments {
+		for _, a := range m {
+			atts = append(atts, a)
+		}
+	}
+	e.mu.Unlock()
+	var out []obs.CursorEntry
+	for _, a := range atts {
+		a.curMu.Lock()
+		for origin, st := range a.cursors {
+			out = append(out, obs.CursorEntry{
+				Group:  a.groupID.String(),
+				Origin: origin.String(),
+				Seq:    st.seq,
+			})
+		}
+		a.curMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Origin < out[j].Origin
+	})
+	return out
+}
+
+// onGapSignal turns a rendezvous gap signal into a ReplayGapError for
+// the attachment's subscribers, and advances the cursor floor so the
+// next replay round asks from the retained range instead of re-pulling
+// the same suffix forever.
+func (e *Engine) onGapSignal(a *attachment) rendezvous.GapListener {
+	return func(origin jid.ID, topic string, first, last uint64) {
+		a.jumpCursor(origin, first)
+		e.subs.dispatchError(&ReplayGapError{Path: a.path, Topic: topic, First: first, Last: last})
+	}
+}

@@ -1,0 +1,105 @@
+package engine
+
+// replay_test.go unit-tests the contiguous replay cursor: the invariant
+// that makes at-least-once redelivery converge is that the cursor never
+// advances past an undelivered sequence, while gap signals may jump it
+// over ranges retention has made unrecoverable.
+
+import (
+	"testing"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+func TestCursorAdvancesOnlyContiguously(t *testing.T) {
+	a := &attachment{}
+	origin := jid.FromSeed(jid.KindPeer, 1)
+
+	a.noteCursor(origin, 1)
+	a.noteCursor(origin, 2)
+	if got := a.cursor(origin); got != 2 {
+		t.Fatalf("cursor after 1,2 = %d, want 2", got)
+	}
+	// A hole: 3 is lost, 4..6 arrive. The cursor must hold at 2 so the
+	// next replay round refetches 3 — advancing to max would skip it
+	// forever.
+	a.noteCursor(origin, 4)
+	a.noteCursor(origin, 5)
+	a.noteCursor(origin, 6)
+	if got := a.cursor(origin); got != 2 {
+		t.Fatalf("cursor with hole at 3 = %d, want 2", got)
+	}
+	// The hole fills: the cursor drains the pending run in one step.
+	a.noteCursor(origin, 3)
+	if got := a.cursor(origin); got != 6 {
+		t.Fatalf("cursor after hole filled = %d, want 6", got)
+	}
+	// Duplicates and stale sequences are no-ops.
+	a.noteCursor(origin, 4)
+	a.noteCursor(origin, 6)
+	if got := a.cursor(origin); got != 6 {
+		t.Fatalf("cursor after duplicates = %d, want 6", got)
+	}
+}
+
+func TestCursorPerOrigin(t *testing.T) {
+	a := &attachment{}
+	o1 := jid.FromSeed(jid.KindPeer, 1)
+	o2 := jid.FromSeed(jid.KindPeer, 2)
+	a.noteCursor(o1, 1)
+	a.noteCursor(o1, 2)
+	a.noteCursor(o2, 1)
+	if a.cursor(o1) != 2 || a.cursor(o2) != 1 {
+		t.Fatalf("cursors = (%d, %d), want (2, 1): origins must not share state",
+			a.cursor(o1), a.cursor(o2))
+	}
+}
+
+func TestJumpCursorSkipsRetentionGap(t *testing.T) {
+	a := &attachment{}
+	origin := jid.FromSeed(jid.KindPeer, 1)
+	a.noteCursor(origin, 1)
+	// Entries above the gap arrived before the signal.
+	a.noteCursor(origin, 10)
+	a.noteCursor(origin, 11)
+	// Retention dropped 2..8; the log retains 9..11. Waiting for 2 would
+	// stall the cursor forever, so the gap signal jumps the floor to 8
+	// and the pending run 9 would drain when it arrives.
+	a.jumpCursor(origin, 9)
+	if got := a.cursor(origin); got != 8 {
+		t.Fatalf("cursor after gap jump to first=9: %d, want 8", got)
+	}
+	a.noteCursor(origin, 9)
+	if got := a.cursor(origin); got != 11 {
+		t.Fatalf("cursor after 9 arrives = %d, want 11 (pending 10,11 drain)", got)
+	}
+	// A stale or retained-everything gap signal must not move the cursor
+	// backwards.
+	a.jumpCursor(origin, 5)
+	if got := a.cursor(origin); got != 11 {
+		t.Fatalf("cursor after stale gap = %d, want 11", got)
+	}
+	a.jumpCursor(origin, 0)
+	if got := a.cursor(origin); got != 11 {
+		t.Fatalf("cursor after empty gap = %d, want 11", got)
+	}
+}
+
+func TestCursorPendingSetBounded(t *testing.T) {
+	a := &attachment{}
+	origin := jid.FromSeed(jid.KindPeer, 1)
+	// Never deliver seq 1: everything lands in the pending set, which
+	// must stay capped instead of growing with the hole's width.
+	for seq := uint64(2); seq < maxPendingSeqs*2; seq++ {
+		a.noteCursor(origin, seq)
+	}
+	a.curMu.Lock()
+	pending := len(a.cursors[origin].pending)
+	a.curMu.Unlock()
+	if pending > maxPendingSeqs {
+		t.Fatalf("pending set grew to %d, cap is %d", pending, maxPendingSeqs)
+	}
+	if got := a.cursor(origin); got != 0 {
+		t.Fatalf("cursor with seq 1 missing = %d, want 0", got)
+	}
+}

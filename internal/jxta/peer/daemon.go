@@ -40,6 +40,7 @@ func (p *Peer) EnableDaemon() (*Daemon, error) {
 		GroupParam: "", // wildcard: serve every group
 		Seeds:      p.cfg.Seeds,
 		LeaseTTL:   p.cfg.LeaseTTL,
+		Log:        p.cfg.Log,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peer daemon: %w", err)

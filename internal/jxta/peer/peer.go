@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/adv"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
@@ -46,6 +47,9 @@ type Config struct {
 	// Firewalled marks the peer as unable to accept unsolicited inbound
 	// traffic.
 	Firewalled bool
+	// Log is the durable event log rendezvous services append to and
+	// replay from; nil (the default) disables durability entirely.
+	Log *eventlog.Log
 }
 
 // Peer is a running JXTA peer.
@@ -148,6 +152,9 @@ func (p *Peer) JoinGroup(cfg peergroup.Config) (*peergroup.Group, error) {
 	}
 	if !cfg.Firewalled {
 		cfg.Firewalled = p.cfg.Firewalled
+	}
+	if cfg.Log == nil {
+		cfg.Log = p.cfg.Log
 	}
 	if cfg.ID.IsZero() {
 		cfg.ID = jid.NetGroup

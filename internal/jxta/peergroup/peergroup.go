@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/adv"
 	"github.com/tps-p2p/tps/internal/jxta/discovery"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
@@ -52,6 +53,10 @@ type Config struct {
 	// DisableWireDedupe turns off wire-level duplicate suppression
 	// (ablation benchmarks only).
 	DisableWireDedupe bool
+	// Log, when set on a rendezvous-role peer, makes the group's
+	// rendezvous service append propagated events to this durable log
+	// and serve replay requests from it. The group ID is the log topic.
+	Log *eventlog.Log
 }
 
 // Group is one peer's instance of a peer group: the full protocol stack
@@ -93,6 +98,7 @@ func New(ep *endpoint.Service, cfg Config) (*Group, error) {
 		GroupParam: param,
 		Seeds:      cfg.Seeds,
 		LeaseTTL:   cfg.LeaseTTL,
+		Log:        cfg.Log,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)

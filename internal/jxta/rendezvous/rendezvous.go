@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
@@ -118,6 +119,12 @@ type Config struct {
 	// SeedBackoff shapes the retry curve for unreachable seeds. Zero
 	// fields use retry defaults with Max capped at the lease TTL.
 	SeedBackoff retry.Policy
+	// Log, when set on a rendezvous-role service, makes propagation
+	// durable: every message this peer fans out is appended to the
+	// per-topic log first (stamped with its sequence number), and replay
+	// requests from reconnecting subscribers are served from it. Nil —
+	// the default — leaves the fire-and-forget hot path untouched.
+	Log *eventlog.Log
 }
 
 // DefaultLeaseTTL is the lease duration granted by rendezvous peers.
@@ -163,15 +170,19 @@ type Stats struct {
 // rdvCounters is the lock-free internal form of Stats: the propagation
 // hot path bumps these without taking s.mu.
 type rdvCounters struct {
-	propagated   atomic.Int64
-	delivered    atomic.Int64
-	duplicates   atomic.Int64
-	sendFailures atomic.Int64
-	seedFailures atomic.Int64
-	suspected    atomic.Int64
-	probes       atomic.Int64
-	evicted      atomic.Int64
-	breakerSkips atomic.Int64
+	propagated     atomic.Int64
+	delivered      atomic.Int64
+	duplicates     atomic.Int64
+	sendFailures   atomic.Int64
+	seedFailures   atomic.Int64
+	suspected      atomic.Int64
+	probes         atomic.Int64
+	evicted        atomic.Int64
+	breakerSkips   atomic.Int64
+	replayRequests atomic.Int64 // replay ops sent (edge) or received (rdv)
+	replayServed   atomic.Int64 // log entries resent to requesters
+	replayGaps     atomic.Int64 // gap signals sent or received
+	logFailures    atomic.Int64 // event-log appends that errored
 }
 
 type peerEntry struct {
@@ -216,7 +227,11 @@ type Service struct {
 	evictAfter   int
 	cooldown     time.Duration
 	seedPolicy   retry.Policy
+	log          *eventlog.Log
 	stats        rdvCounters
+
+	gapMu sync.Mutex
+	gapFn GapListener
 
 	mu      sync.Mutex
 	clients map[clientKey]peerEntry // connected to us (rendezvous role)
@@ -274,6 +289,7 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 		evictAfter:   evictAfter,
 		cooldown:     cooldown,
 		seedPolicy:   seedPolicy,
+		log:          cfg.Log,
 		clients:      make(map[clientKey]peerEntry),
 		rdvs:         make(map[jid.ID]peerEntry),
 		health:       make(map[endpoint.Address]*healthState),
@@ -408,15 +424,19 @@ func (s *Service) Snapshot() obs.Snapshot {
 		Name:    "rendezvous",
 		Version: 1,
 		Counters: map[string]int64{
-			"propagated":    s.stats.propagated.Load(),
-			"delivered":     s.stats.delivered.Load(),
-			"duplicates":    s.stats.duplicates.Load(),
-			"send_failures": s.stats.sendFailures.Load(),
-			"seed_failures": s.stats.seedFailures.Load(),
-			"suspected":     s.stats.suspected.Load(),
-			"probes":        s.stats.probes.Load(),
-			"evicted":       s.stats.evicted.Load(),
-			"breaker_skips": s.stats.breakerSkips.Load(),
+			"propagated":      s.stats.propagated.Load(),
+			"delivered":       s.stats.delivered.Load(),
+			"duplicates":      s.stats.duplicates.Load(),
+			"send_failures":   s.stats.sendFailures.Load(),
+			"seed_failures":   s.stats.seedFailures.Load(),
+			"suspected":       s.stats.suspected.Load(),
+			"probes":          s.stats.probes.Load(),
+			"evicted":         s.stats.evicted.Load(),
+			"breaker_skips":   s.stats.breakerSkips.Load(),
+			"replay_requests": s.stats.replayRequests.Load(),
+			"replay_served":   s.stats.replayServed.Load(),
+			"replay_gaps":     s.stats.replayGaps.Load(),
+			"log_failures":    s.stats.logFailures.Load(),
 		},
 		Gauges: map[string]float64{
 			"leases":        float64(leases),
@@ -573,6 +593,11 @@ func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
 	}
 	// Remember our own injection so the mesh echo is dropped.
 	s.seen.Observe(out.ID)
+	// Durable path: number and persist the message before it leaves, so
+	// a subscriber that is offline right now can replay it later.
+	if s.log != nil && s.cfg.Role == RoleRendezvous {
+		s.appendToLog(out, s.cfg.GroupParam)
+	}
 
 	attempted, failed := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
 	s.stats.propagated.Add(1)
@@ -787,6 +812,10 @@ func (s *Service) handle(msg *message.Message, from endpoint.Address) {
 		s.handlePing(msg, from)
 	case opPong:
 		s.handlePong(from)
+	case opReplay:
+		s.handleReplay(msg, from)
+	case opGap:
+		s.handleGap(msg)
 	}
 }
 
@@ -895,8 +924,14 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 	if !fwd.Stamp(s.ep.PeerID()) {
 		return
 	}
+	param := s.incomingParam(msg)
+	if s.log != nil {
+		// Re-number under this peer's own log: cursors are per origin,
+		// and this rendezvous is now an origin for its subscribers.
+		s.appendToLog(fwd, param)
+	}
 	s.stats.propagated.Add(1)
-	s.fanOut(fwd, msg.Src, s.incomingParam(msg))
+	s.fanOut(fwd, msg.Src, param)
 }
 
 // maintainLoop keeps leases with seed rendezvous alive (renewing at a

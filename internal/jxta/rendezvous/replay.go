@@ -1,0 +1,208 @@
+package rendezvous
+
+// replay.go is the durability half of the rendezvous protocol: peers
+// with an event log (Config.Log) append every propagated message before
+// fanning it out, stamping the assigned per-topic sequence number and
+// their own identity onto the frame. A subscriber that joined late or
+// reconnected presents its last-delivered cursor with a replay request
+// and receives the retained suffix as the original frames, resent
+// verbatim — at-least-once, with the receive-side seen caches turning
+// redelivery into exactly-once observable delivery. A cursor that fell
+// behind retention gets an explicit gap signal instead of silent loss.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+
+	"github.com/tps-p2p/tps/internal/eventlog"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+)
+
+// Replay message element names, namespace "rdv".
+const (
+	// elemSeq carries the 8-byte big-endian per-topic log sequence a
+	// rendezvous assigned to a propagated message.
+	elemSeq = "Seq"
+	// elemLogSrc carries the binary ID of the rendezvous whose log
+	// numbered the message — cursors are only meaningful per origin.
+	elemLogSrc = "LogSrc"
+	// elemTopic names the topic (group parameter) of a replay request
+	// or gap signal.
+	elemTopic = "Topic"
+	// elemCursor is the requester's last-delivered sequence, decimal.
+	elemCursor = "Cursor"
+	// elemFirst / elemLast bound the retained range in a gap signal.
+	elemFirst = "First"
+	elemLast  = "Last"
+)
+
+// Replay operations.
+const (
+	opReplay = "replay"
+	opGap    = "gap"
+)
+
+// GapListener is notified when a replay request could not be served
+// from the requested cursor: entries (cursor, first) were dropped by
+// retention, or the server's log restarted. origin is the rendezvous
+// that signalled; first and last bound what it still retains (both
+// zero when it retains nothing). Receivers should advance their cursor
+// for origin past the gap — those entries are unrecoverable.
+type GapListener func(origin jid.ID, topic string, first, last uint64)
+
+// SetReplayGapListener installs the callback for gap signals received
+// in response to this peer's replay requests. Pass nil to remove.
+func (s *Service) SetReplayGapListener(fn GapListener) {
+	s.gapMu.Lock()
+	s.gapFn = fn
+	s.gapMu.Unlock()
+}
+
+// Log returns the event log this service appends to, nil without one.
+func (s *Service) Log() *eventlog.Log { return s.log }
+
+// ReplayInfo extracts the log coordinates a rendezvous stamped onto a
+// propagated message: the origin peer whose log numbered it and the
+// sequence it was assigned. ok is false for messages that never crossed
+// a logging rendezvous. The lookup is allocation-free.
+func ReplayInfo(msg *message.Message) (origin jid.ID, seq uint64, ok bool) {
+	e, found := msg.Element(elemNS, elemSeq)
+	if !found || len(e.Data) != 8 {
+		return jid.Nil, 0, false
+	}
+	seq = binary.BigEndian.Uint64(e.Data)
+	origin, err := msg.GetID(elemNS, elemLogSrc)
+	if err != nil {
+		return jid.Nil, 0, false
+	}
+	return origin, seq, true
+}
+
+// RequestReplay asks the connected rendezvous target to resend the
+// retained entries of topic with sequence numbers after the cursor.
+// Replayed events arrive through the normal propagation path (and its
+// dedupe); a gap signal arrives through the GapListener. The request is
+// fire-and-forget: callers re-request on the next (re)connect cycle,
+// which is what makes delivery at-least-once over lossy links.
+func (s *Service) RequestReplay(target jid.ID, topic string, after uint64) error {
+	s.mu.Lock()
+	e, ok := s.rdvs[target]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rendezvous: no lease with %v", target)
+	}
+	req := message.New(s.ep.PeerID())
+	req.Grow(4)
+	req.AddString(elemNS, elemOp, opReplay)
+	req.AddString(elemNS, elemTopic, topic)
+	req.AddString(elemNS, elemCursor, strconv.FormatUint(after, 10))
+	// The cursor only means anything against the log that assigned it:
+	// name the origin so a different (restarted, re-homed) rendezvous
+	// falls back to a full replay instead of honouring a foreign cursor.
+	req.AddID(elemNS, elemLogSrc, target)
+	s.stats.replayRequests.Add(1)
+	return s.ep.Send(e.addr, ServiceName, s.cfg.GroupParam, req)
+}
+
+// appendToLog reserves the topic's next sequence number, stamps it and
+// this peer's identity onto msg, and stores the encoded propagation
+// frame — so the bytes a later replay resends are exactly the bytes the
+// fan-out sends now. Called with a log present, on the forwarding path
+// only (never on the log-off hot path).
+func (s *Service) appendToLog(msg *message.Message, topic string) {
+	var frame []byte
+	_, err := s.log.Append(topic, func(seq uint64) ([]byte, error) {
+		seqData := make([]byte, 8)
+		binary.BigEndian.PutUint64(seqData, seq)
+		msg.ReplaceElement(message.Element{Namespace: elemNS, Name: elemSeq, Data: seqData})
+		msg.ReplaceID(elemNS, elemLogSrc, s.ep.PeerID())
+		f, err := s.ep.EncodeFrame(ServiceName, topic, msg)
+		frame = f
+		return f, err
+	})
+	if frame != nil {
+		endpoint.RecycleFrame(frame)
+	}
+	if err != nil {
+		s.stats.logFailures.Add(1)
+	}
+}
+
+// handleReplay serves one replay request from the log. Stored frames
+// are resent verbatim to the requester's address; they re-enter its
+// normal propagation handling, where the seen caches drop whatever was
+// already delivered live.
+func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
+	if s.cfg.Role != RoleRendezvous || s.log == nil {
+		return
+	}
+	topic := msg.Text(elemNS, elemTopic)
+	if topic == "" {
+		return
+	}
+	cursor, _ := strconv.ParseUint(msg.Text(elemNS, elemCursor), 10, 64)
+	if origin, err := msg.GetID(elemNS, elemLogSrc); err != nil || origin != s.ep.PeerID() {
+		// The cursor counts another peer's log (the subscriber re-homed
+		// after its rendezvous died): our numbering is unrelated. Replay
+		// the full retained suffix; receive-side dedupe absorbs overlap.
+		cursor = 0
+	}
+	param := s.incomingParam(msg)
+	first, last, ok := s.log.Range(topic)
+	if !ok {
+		if cursor > 0 {
+			// The requester has history we do not: log restarted empty.
+			s.sendGap(from, param, topic, 0, 0)
+		}
+		return
+	}
+	if cursor > last {
+		// Cursor outruns our log: the numbering restarted (log state
+		// lost). Signal the discontinuity, then replay what we have.
+		s.sendGap(from, param, topic, first, last)
+		cursor = 0
+	} else if cursor > 0 && cursor+1 < first {
+		// Retention dropped (cursor, first): explicit gap, not silence.
+		s.sendGap(from, param, topic, first, last)
+	}
+	served := 0
+	_ = s.log.Read(topic, cursor, 0, func(e eventlog.Entry) error {
+		if err := s.ep.SendFrame(from, e.Payload); err != nil {
+			s.stats.sendFailures.Add(1)
+			return err
+		}
+		served++
+		return nil
+	})
+	s.stats.replayServed.Add(int64(served))
+}
+
+// sendGap tells a requester that its cursor predates what the log
+// retains, bounding what is still available.
+func (s *Service) sendGap(to endpoint.Address, param, topic string, first, last uint64) {
+	s.stats.replayGaps.Add(1)
+	m := message.New(s.ep.PeerID())
+	m.Grow(4)
+	m.AddString(elemNS, elemOp, opGap)
+	m.AddString(elemNS, elemTopic, topic)
+	m.AddString(elemNS, elemFirst, strconv.FormatUint(first, 10))
+	m.AddString(elemNS, elemLast, strconv.FormatUint(last, 10))
+	_ = s.ep.Send(to, ServiceName, param, m)
+}
+
+// handleGap dispatches a received gap signal to the listener.
+func (s *Service) handleGap(msg *message.Message) {
+	topic := msg.Text(elemNS, elemTopic)
+	first, _ := strconv.ParseUint(msg.Text(elemNS, elemFirst), 10, 64)
+	last, _ := strconv.ParseUint(msg.Text(elemNS, elemLast), 10, 64)
+	s.stats.replayGaps.Add(1)
+	s.gapMu.Lock()
+	fn := s.gapFn
+	s.gapMu.Unlock()
+	if fn != nil {
+		fn(msg.Src, topic, first, last)
+	}
+}

@@ -53,6 +53,32 @@ type SubscriptionEntry struct {
 	Ready int `json:"ready"`
 }
 
+// LogTopicEntry describes one topic's retained range in the durable
+// event log (rendezvous peers with Config.LogDir set).
+type LogTopicEntry struct {
+	// Topic is the log topic — the group parameter events propagate
+	// under.
+	Topic string `json:"topic"`
+	// FirstSeq and LastSeq bound the retained sequence range; both 0
+	// when the topic holds no entries.
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	// Segments and Bytes describe the on-disk footprint.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// CursorEntry is one (group, log origin) replay cursor an engine tracks:
+// the highest log sequence number delivered from that origin.
+type CursorEntry struct {
+	// Group is the peer group (topic) the cursor belongs to.
+	Group string `json:"group"`
+	// Origin is the rendezvous peer whose log numbered the events.
+	Origin string `json:"origin"`
+	// Seq is the last delivered sequence number.
+	Seq uint64 `json:"seq"`
+}
+
 // Inspection is the structural self-description of one peer.
 type Inspection struct {
 	// Schema is SchemaVersion at build time.
@@ -72,4 +98,10 @@ type Inspection struct {
 	Subscriptions []SubscriptionEntry `json:"subscriptions"`
 	// Types lists every registered event-type path.
 	Types []string `json:"types,omitempty"`
+	// EventLog lists per-topic retained ranges of the durable event log;
+	// empty when the peer runs without a log.
+	EventLog []LogTopicEntry `json:"event_log,omitempty"`
+	// Cursors lists the engines' replay cursors: the highest log
+	// sequence delivered per (group, origin rendezvous).
+	Cursors []CursorEntry `json:"cursors,omitempty"`
 }

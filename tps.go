@@ -55,6 +55,7 @@ import (
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/core/engine"
 	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
@@ -122,6 +123,30 @@ type Config struct {
 	// /rpc (see OBSERVABILITY.md). Off by default. The server carries no
 	// authentication — bind loopback unless the network is trusted.
 	AdminAddr string
+	// LogDir, when non-empty, opens a durable per-topic event log in
+	// that directory. Rendezvous peers append every propagated event and
+	// serve late-joiner catch-up / reconnect redelivery from it; the
+	// receive-side dedupe caches turn the at-least-once replay into
+	// exactly-once observable delivery. Off by default — the fire-and-
+	// forget hot path is untouched without it.
+	LogDir string
+	// LogRetention bounds the event log; zero fields take the defaults
+	// (1 MiB segments, 64 MiB per topic, no age limit).
+	LogRetention LogRetention
+	// LogSync selects the log fsync policy: "" or "none" (OS decides),
+	// "roll" (fsync sealed segments), "always" (fsync every append).
+	LogSync string
+}
+
+// LogRetention bounds the durable event log per topic.
+type LogRetention struct {
+	// SegmentBytes caps one log segment before rolling to the next.
+	SegmentBytes int64
+	// MaxBytes caps the retained bytes per topic; oldest sealed
+	// segments are deleted first.
+	MaxBytes int64
+	// MaxAge drops sealed segments whose newest entry is older.
+	MaxAge time.Duration
 }
 
 // Option customises NewPlatform.
@@ -153,6 +178,7 @@ type Platform struct {
 	obsreg *obs.Registry
 	admin  *admin.Server
 	tcp    *tcpnet.Transport
+	log    *eventlog.Log
 
 	// engMu guards the live core engines, tracked so Stats and Inspect
 	// cover engines created at any time.
@@ -192,14 +218,37 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 	for _, s := range cfg.Seeds {
 		seeds = append(seeds, endpoint.Address(s))
 	}
+	var elog *eventlog.Log
+	if cfg.LogDir != "" {
+		policy, err := eventlog.ParseSyncPolicy(cfg.LogSync)
+		if err != nil {
+			return nil, psErr("platform", err)
+		}
+		elog, err = eventlog.Open(eventlog.Config{
+			Dir: cfg.LogDir,
+			Retention: eventlog.Retention{
+				SegmentBytes: cfg.LogRetention.SegmentBytes,
+				MaxBytes:     cfg.LogRetention.MaxBytes,
+				MaxAge:       cfg.LogRetention.MaxAge,
+			},
+			Sync: policy,
+		})
+		if err != nil {
+			return nil, psErr("platform", err)
+		}
+	}
 	p, err := peer.New(peer.Config{
 		Name:       cfg.Name,
 		Role:       role,
 		Seeds:      seeds,
 		LeaseTTL:   cfg.LeaseTTL,
 		Firewalled: cfg.Firewalled,
+		Log:        elog,
 	}, transports...)
 	if err != nil {
+		if elog != nil {
+			_ = elog.Close()
+		}
 		return nil, psErr("platform", err)
 	}
 	pl := &Platform{
@@ -211,6 +260,7 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		name:   cfg.Name,
 		obsreg: obs.NewRegistry(),
 		tcp:    tcp,
+		log:    elog,
 	}
 	if cfg.Rendezvous {
 		d, err := p.EnableDaemon()
@@ -289,6 +339,9 @@ func (p *Platform) registerProviders() {
 		}
 		return obs.Merge("seen", snaps...)
 	})
+	if p.log != nil {
+		r.RegisterFunc("eventlog", func() obs.Snapshot { return p.log.Snapshot() })
+	}
 }
 
 // seenCaches collects every live dedupe cache: the wire and rendezvous
@@ -413,6 +466,10 @@ func (p *Platform) Inspect() Inspection {
 	}
 	for _, e := range p.coreEngines() {
 		in.Subscriptions = append(in.Subscriptions, e.SubscriptionsView()...)
+		in.Cursors = append(in.Cursors, e.CursorsView()...)
+	}
+	if p.log != nil {
+		in.EventLog = p.log.TopicsView()
 	}
 	in.Types = p.reg.Paths()
 	return in
@@ -460,6 +517,10 @@ func (p *Platform) Close() {
 		p.daemon = nil
 	}
 	p.peer.Close()
+	if p.log != nil {
+		_ = p.log.Close()
+		p.log = nil
+	}
 }
 
 // Register adds T to the platform's type registry as a hierarchy root.
