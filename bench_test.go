@@ -14,15 +14,16 @@ import (
 
 	tps "github.com/tps-p2p/tps"
 	"github.com/tps-p2p/tps/internal/benchkit"
-	"github.com/tps-p2p/tps/internal/eventlog"
-	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
-	"github.com/tps-p2p/tps/internal/netsim"
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/core/typereg"
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
+	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
+	"github.com/tps-p2p/tps/internal/netsim"
+	"github.com/tps-p2p/tps/internal/obs/hist"
 	"github.com/tps-p2p/tps/internal/srapp"
 )
 
@@ -218,9 +219,11 @@ func BenchmarkAblationSubtypeDispatch(b *testing.B) {
 // localPublishDeliverLoop assembles a single-peer platform with one
 // subscriber and returns a function that publishes one paper-sized event
 // and blocks until the wire loopback delivers it — the full encode, wire
-// send, loopback, dedupe, dispatch round trip. BenchmarkLocalPublishDeliver
-// times it; TestHotPathAllocBudget gates its allocation count.
-func localPublishDeliverLoop(tb testing.TB) func() {
+// send, loopback, dedupe, dispatch round trip — plus the platform, so
+// callers can read the latency histograms the loop fills.
+// BenchmarkLocalPublishDeliver times it; TestHotPathAllocBudget gates
+// its allocation count.
+func localPublishDeliverLoop(tb testing.TB) (func(), *tps.Platform) {
 	tb.Helper()
 	net := netsim.New(netsim.Config{})
 	tb.Cleanup(net.Close)
@@ -259,20 +262,31 @@ func localPublishDeliverLoop(tb testing.TB) func() {
 			tb.Fatal(err)
 		}
 		<-delivered
-	}
+	}, p
 }
 
 // BenchmarkLocalPublishDeliver measures the full local publish→deliver
 // round trip — encode, wire send, loopback, dedupe, decode, dispatch —
 // on one isolated platform. allocs/op here is the hot-path allocation
 // budget the zero-allocation work targets; TestHotPathAllocBudget gates
-// it so regressions fail tests, not just benchmarks.
+// it so regressions fail tests, not just benchmarks. The publish-stage
+// latency percentiles come straight from the platform's always-on
+// histograms, so the benchmark reports the same numbers an operator
+// would read off `tpsctl latency` or /metrics.
 func BenchmarkLocalPublishDeliver(b *testing.B) {
-	roundTrip := localPublishDeliverLoop(b)
+	roundTrip, p := localPublishDeliverLoop(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		roundTrip()
+	}
+	b.StopTimer()
+	if s, ok := p.Stats().Subsystem("engine"); ok {
+		if h, ok := s.Hists["publish_fanout_us"]; ok && h.Count > 0 {
+			b.ReportMetric(h.Quantile(0.50), "p50_us")
+			b.ReportMetric(h.Quantile(0.90), "p90_us")
+			b.ReportMetric(h.Quantile(0.99), "p99_us")
+		}
 	}
 }
 
@@ -325,7 +339,7 @@ func BenchmarkSeenObserve(b *testing.B) {
 // sharded seen cache and decode-once dispatch brought it to ~41, and
 // the 120 ceiling keeps the ≥50 % win from regressing silently.
 func TestHotPathAllocBudget(t *testing.T) {
-	roundTrip := localPublishDeliverLoop(t)
+	roundTrip, _ := localPublishDeliverLoop(t)
 	roundTrip() // warm attachments, pools and gob type machinery
 	e2eAllocs := testing.AllocsPerRun(300, roundTrip)
 	if e2eAllocs > 120 {
@@ -381,6 +395,15 @@ func TestHotPathAllocBudget(t *testing.T) {
 	})
 	if replayAllocs > 0 {
 		t.Errorf("ReplayInfo on an unstamped message allocates %.1f/op, budget is 0", replayAllocs)
+	}
+
+	// The always-on latency histograms sit on every one of those paths;
+	// recording must stay two atomic adds, never an allocation, or the
+	// e2e budget above silently absorbs observability cost.
+	h := hist.New()
+	histAllocs := testing.AllocsPerRun(200, func() { h.Observe(123 * time.Microsecond) })
+	if histAllocs > 0 {
+		t.Errorf("hist.Observe allocates %.1f/op, budget is 0", histAllocs)
 	}
 }
 

@@ -19,7 +19,11 @@
 //	tpsctl peers -admin 127.0.0.1:7700              # leases, seeds, health
 //	tpsctl subs  -admin 127.0.0.1:7700              # subscriptions and types
 //	tpsctl log   -admin 127.0.0.1:7700              # durable event log: retained ranges, cursor lag
-//	tpsctl watch -admin 127.0.0.1:7700 -interval 2s # poll /stats, print deltas
+//	tpsctl watch -admin 127.0.0.1:7700 -interval 2s # poll /stats, print deltas + per-interval p99
+//	tpsctl latency -admin 127.0.0.1:7700            # per-stage latency histograms: p50/p90/p99
+//	tpsctl trace -admin 127.0.0.1:7700              # list traced events on the peer
+//	tpsctl trace -admin a:7700,b:7700 <event-id>    # merge hop records from several peers
+//	                                                # into one end-to-end trace
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -43,6 +48,8 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/wire"
 	"github.com/tps-p2p/tps/internal/obs"
 	"github.com/tps-p2p/tps/internal/obs/admin"
+	"github.com/tps-p2p/tps/internal/obs/hist"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 func main() {
@@ -55,13 +62,13 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
-			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | log | watch")
+			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | log | watch | latency | trace [event-id]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
-	case "stats", "peers", "subs", "log", "watch":
+	case "stats", "peers", "subs", "log", "watch", "latency", "trace":
 		err = adminCommand(cmd, args, *seeds)
 	default:
 		err = run(cmd, args, *listen, *seeds, *name, *wait)
@@ -84,6 +91,15 @@ func adminCommand(cmd string, args []string, globalSeed string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if cmd == "trace" {
+		// trace accepts several admin endpoints (comma-separated) and
+		// merges their hop records into one end-to-end view.
+		bases, err := adminBases(*adminAddr, *seed)
+		if err != nil {
+			return err
+		}
+		return showTrace(bases, fs.Args())
+	}
 	base, err := adminBase(*adminAddr, *seed)
 	if err != nil {
 		return err
@@ -99,6 +115,8 @@ func adminCommand(cmd string, args []string, globalSeed string) error {
 		return showLog(base)
 	case "watch":
 		return watchStats(base, *interval)
+	case "latency":
+		return showLatency(base)
 	}
 	return fmt.Errorf("unknown admin command %q", cmd)
 }
@@ -121,6 +139,25 @@ func adminBase(adminAddr, seed string) (string, error) {
 		host = s
 	}
 	return fmt.Sprintf("http://%s:%d", host, admin.DefaultPort), nil
+}
+
+// adminBases resolves a comma-separated -admin list (or the single
+// seed-derived address) into base URLs.
+func adminBases(adminAddr, seed string) ([]string, error) {
+	if adminAddr == "" {
+		base, err := adminBase("", seed)
+		if err != nil {
+			return nil, err
+		}
+		return []string{base}, nil
+	}
+	var out []string
+	for _, a := range strings.Split(adminAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, "http://"+a)
+		}
+	}
+	return out, nil
 }
 
 func fetchJSON(base, path string, into any) error {
@@ -249,6 +286,128 @@ func showLog(base string) error {
 	return nil
 }
 
+// showLatency renders every per-stage latency histogram the peer
+// carries: observation count, mean and upper-bound quantiles. Bucket
+// bounds come from the fixed log-linear layout (≤12.5% relative error),
+// so the printed quantiles are conservative upper bounds.
+func showLatency(base string) error {
+	var view obs.View
+	if err := fetchJSON(base, "/stats", &view); err != nil {
+		return err
+	}
+	fmt.Printf("latency (schema %d) at %s\n", view.Schema,
+		time.UnixMilli(view.TakenAtMS).Format(time.RFC3339))
+	gotRows := false
+	fmt.Printf("%-12s %-20s %-10s %-9s %-9s %-9s %s\n",
+		"SUBSYSTEM", "STAGE", "COUNT", "MEAN", "P50", "P90", "P99")
+	for _, s := range view.Subsystems {
+		for _, k := range sortedKeys(s.Hists) {
+			h := s.Hists[k]
+			if h.Count == 0 {
+				continue
+			}
+			gotRows = true
+			fmt.Printf("%-12s %-20s %-10d %-9s %-9s %-9s %s\n",
+				s.Name, k, h.Count, fmtUS(h.MeanUS()),
+				fmtUS(h.Quantile(0.5)), fmtUS(h.Quantile(0.9)), fmtUS(h.Quantile(0.99)))
+		}
+	}
+	if !gotRows {
+		fmt.Println("(no observations yet — histograms fill as events flow)")
+	}
+	return nil
+}
+
+// showTrace lists retained traced events (no args) or merges one
+// event's hop records from every given admin endpoint into an ordered
+// end-to-end trace. Peers that saw nothing contribute nothing; peers
+// without a trace store (404) are warned about and skipped.
+func showTrace(bases []string, args []string) error {
+	if len(args) == 0 {
+		listed := false
+		for _, base := range bases {
+			var doc struct {
+				Events []trace.EventSummary `json:"events"`
+			}
+			if err := fetchJSON(base, "/trace", &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "warn: %s: %v\n", base, err)
+				continue
+			}
+			if !listed {
+				fmt.Printf("%-52s %-6s %s\n", "EVENT", "HOPS", "FIRST SEEN")
+				listed = true
+			}
+			for _, ev := range doc.Events {
+				fmt.Printf("%-52s %-6d %s\n", ev.EventID, ev.Hops,
+					time.UnixMicro(ev.FirstUS).Format(time.RFC3339))
+			}
+		}
+		if !listed {
+			return fmt.Errorf("no admin endpoint served /trace (peers need a trace store; raise TraceRate)")
+		}
+		return nil
+	}
+	eventID := args[0]
+	var hops []trace.Hop
+	for _, base := range bases {
+		var doc struct {
+			Hops []trace.Hop `json:"hops"`
+		}
+		if err := fetchJSON(base, "/trace/"+eventID, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "warn: %s: %v\n", base, err)
+			continue
+		}
+		hops = append(hops, doc.Hops...)
+	}
+	tr := trace.Assemble(eventID, hops)
+	if len(tr.Hops) == 0 {
+		return fmt.Errorf("no hops recorded for %s on %d peer(s)", eventID, len(bases))
+	}
+	fmt.Printf("event %s\n", tr.EventID)
+	if tr.SentUS != 0 {
+		fmt.Printf("published %s\n", time.UnixMicro(tr.SentUS).Format(time.RFC3339Nano))
+	}
+	fmt.Printf("%-9s %-14s %-12s %s\n", "STAGE", "PEER", "OFFSET", "PATH")
+	for _, h := range tr.Hops {
+		offset := "-"
+		if tr.SentUS != 0 {
+			// Cross-peer clock skew can make this negative; print it raw.
+			offset = fmtUSSigned(float64(h.AtUS - tr.SentUS))
+		}
+		path := "-"
+		if len(h.Path) > 0 {
+			parts := make([]string, len(h.Path))
+			for i, p := range h.Path {
+				parts[i] = short(p)
+			}
+			path = strings.Join(parts, " > ")
+		}
+		fmt.Printf("%-9s %-14s %-12s %s\n", h.Stage, short(h.Peer), offset, path)
+	}
+	return nil
+}
+
+// fmtUS renders a microsecond quantity at a human scale.
+func fmtUS(us float64) string {
+	switch {
+	case math.IsInf(us, 1):
+		return "inf"
+	case us < 1000:
+		return fmt.Sprintf("%dµs", int64(us))
+	case us < 1e6:
+		return fmt.Sprintf("%.1fms", us/1000)
+	default:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	}
+}
+
+func fmtUSSigned(us float64) string {
+	if us < 0 {
+		return "-" + fmtUS(-us)
+	}
+	return "+" + fmtUS(us)
+}
+
 // postRPC performs one JSON-RPC 2.0 call against POST /rpc.
 func postRPC(base, method string, into any) error {
 	body := strings.NewReader(fmt.Sprintf(`{"jsonrpc":"2.0","id":1,"method":%q}`, method))
@@ -264,7 +423,9 @@ func postRPC(base, method string, into any) error {
 }
 
 // watchStats polls /stats and prints the counters that moved between
-// polls, one line per change, until interrupted.
+// polls, one line per change, until interrupted. Latency histograms are
+// differenced the same way: the per-interval delta distribution yields
+// a p99 for exactly the events of that interval, not a lifetime blend.
 func watchStats(base string, interval time.Duration) error {
 	if interval <= 0 {
 		interval = time.Second
@@ -274,6 +435,7 @@ func watchStats(base string, interval time.Duration) error {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	prev := map[string]int64{}
+	prevHists := map[string]hist.Snapshot{}
 	first := true
 	for {
 		var view obs.View
@@ -281,9 +443,13 @@ func watchStats(base string, interval time.Duration) error {
 			return err
 		}
 		cur := map[string]int64{}
+		curHists := map[string]hist.Snapshot{}
 		for _, s := range view.Subsystems {
 			for k, v := range s.Counters {
 				cur[s.Name+"."+k] = v
+			}
+			for k, h := range s.Hists {
+				curHists[s.Name+"."+k] = h
 			}
 		}
 		if first {
@@ -297,12 +463,19 @@ func watchStats(base string, interval time.Duration) error {
 						k, d, float64(d)/interval.Seconds()))
 				}
 			}
+			for _, k := range sortedKeys(curHists) {
+				if d := hist.Delta(curHists[k], prevHists[k]); d.Count > 0 {
+					lines = append(lines, fmt.Sprintf("%s p99=%s (n=%d)",
+						k, fmtUS(d.Quantile(0.99)), d.Count))
+				}
+			}
 			if len(lines) == 0 {
 				lines = []string{"idle"}
 			}
 			fmt.Printf("%s  %s\n", time.Now().Format("15:04:05"), strings.Join(lines, "  "))
 		}
 		prev = cur
+		prevHists = curHists
 		select {
 		case <-ticker.C:
 		case <-stop:

@@ -80,6 +80,8 @@ func NewEngine[T any](p *Platform) (*Engine[T], error) {
 		Codec:        p.codec,
 		FindTimeout:  p.ftime,
 		FindInterval: p.fint,
+		Tracer:       p.tracer,
+		TraceRate:    p.trate,
 	})
 	if err != nil {
 		return nil, psErr("engine", err)

@@ -26,6 +26,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/transport/memnet"
 	"github.com/tps-p2p/tps/internal/netsim"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // GroupParam scopes every chaos cluster to one peer group.
@@ -75,11 +76,12 @@ type Cluster struct {
 
 // Peer bundles one node's netsim, endpoint and rendezvous layers.
 type Peer struct {
-	Name string
-	Node *netsim.Node
-	EP   *endpoint.Service
-	Rdv  *rendezvous.Service
-	Log  *eventlog.Log
+	Name  string
+	Node  *netsim.Node
+	EP    *endpoint.Service
+	Rdv   *rendezvous.Service
+	Log   *eventlog.Log
+	Trace *trace.Store
 }
 
 // New creates a cluster.
@@ -160,6 +162,7 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 	for i, s := range seeds {
 		addrs[i] = endpoint.MakeAddress("mem", s)
 	}
+	tracer := trace.NewStore(0)
 	rdv, err := rendezvous.New(ep, rendezvous.Config{
 		Role:          role,
 		GroupParam:    GroupParam,
@@ -169,6 +172,7 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 		EvictAfter:    c.cfg.EvictAfter,
 		EvictCooldown: c.cfg.EvictCooldown,
 		Log:           elog,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		if elog != nil {
@@ -178,7 +182,7 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 		node.Close()
 		return nil, err
 	}
-	p := &Peer{Name: name, Node: node, EP: ep, Rdv: rdv, Log: elog}
+	p := &Peer{Name: name, Node: node, EP: ep, Rdv: rdv, Log: elog, Trace: tracer}
 	c.mu.Lock()
 	c.peers[name] = p
 	c.mu.Unlock()
@@ -266,6 +270,22 @@ func (p *Peer) Publish(svc, body string) error {
 	return p.Rdv.Propagate(m, svc, GroupParam)
 }
 
+// PublishTraced propagates a payload like Publish, but stamps the
+// message with a hop-trace element (the message ID doubles as the event
+// ID) and records the publish hop locally — what the engine does for
+// sampled events, distilled for scenario tests. The returned ID keys
+// the hop records on every peer the message crosses.
+func (p *Peer) PublishTraced(svc, body string) (jid.ID, error) {
+	m := message.New(p.EP.PeerID())
+	m.AddString("app", "body", body)
+	sentUS := time.Now().UnixMicro()
+	trace.Stamp(m, m.ID, sentUS)
+	if p.Trace != nil {
+		p.Trace.Record(m.ID, trace.StagePublish, p.EP.PeerID(), sentUS, nil)
+	}
+	return m.ID, p.Rdv.Propagate(m, svc, GroupParam)
+}
+
 // Sink collects messages delivered to one peer's service handler.
 type Sink struct {
 	mu   sync.Mutex
@@ -273,9 +293,14 @@ type Sink struct {
 }
 
 // Subscribe registers a sink for propagated messages addressed to svc.
+// Messages carrying a hop-trace element get a deliver hop recorded in
+// the peer's trace store, mirroring the engine's receive side.
 func (p *Peer) Subscribe(svc string) (*Sink, error) {
 	s := &Sink{}
 	err := p.EP.RegisterHandler(svc, GroupParam, func(msg *message.Message, _ endpoint.Address) {
+		if ev, sentUS, ok := trace.Info(msg); ok && p.Trace != nil {
+			p.Trace.Record(ev, trace.StageDeliver, p.EP.PeerID(), sentUS, msg.Path)
+		}
 		s.mu.Lock()
 		s.msgs = append(s.msgs, msg)
 		s.mu.Unlock()

@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"github.com/tps-p2p/tps/internal/chaos"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/netsim"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 const svc = "chaos-app"
@@ -285,4 +287,81 @@ func TestPropagateReportsPartitionToPublisher(t *testing.T) {
 	waitFor(t, 10*time.Second, "publish to succeed after heal", func() bool {
 		return pub.Publish(svc, "reachable again") == nil
 	})
+}
+
+// TestTraceSurvivesLossyLink publishes traced events through a
+// rendezvous into a subscriber behind a 30% lossy link, then assembles
+// each event's hop trace from the per-peer stores. The set of events
+// with a deliver hop at the subscriber must match exactly the frames
+// the sink actually received — tracing may neither invent deliveries
+// (a hop for a dropped frame) nor lose them (a delivered frame without
+// its hop) — and every delivered event's trace must read
+// publish→forward→deliver across the three peers.
+func TestTraceSurvivesLossyLink(t *testing.T) {
+	c := chaos.New(chaos.Config{Seed: 11})
+	add := adder(t)
+	defer c.Close()
+
+	rdv := add(c.AddRendezvous("rdv"))
+	pub := add(c.AddEdge("pub", "rdv"))
+	sub := add(c.AddEdge("sub", "rdv"))
+	sink, err := sub.Subscribe(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitConnected(10*time.Second, "pub", "sub"); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.SetLink("rdv", "sub", netsim.Link{Latency: time.Millisecond, Loss: 0.3})
+
+	const n = 150
+	byBody := make(map[string]jid.ID, n)
+	for i := 0; i < n; i++ {
+		body := fmt.Sprintf("t-%d", i)
+		id, err := pub.PublishTraced(svc, body)
+		if err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+		byBody[body] = id
+	}
+	c.Net.WaitQuiesce(10 * time.Second)
+
+	delivered := make(map[string]bool, n)
+	for _, b := range sink.Bodies() {
+		delivered[b] = true
+	}
+	if len(delivered) == 0 || len(delivered) == n {
+		t.Fatalf("lossy link delivered %d/%d; the test needs both outcomes", len(delivered), n)
+	}
+
+	for body, id := range byBody {
+		ev := id.String()
+		var hops []trace.Hop
+		for _, p := range []*chaos.Peer{pub, rdv, sub} {
+			hops = append(hops, p.Trace.Hops(ev)...)
+		}
+		tr := trace.Assemble(ev, hops)
+
+		stages := make(map[string]int)
+		for _, h := range tr.Hops {
+			stages[h.Stage]++
+		}
+		if stages[trace.StagePublish] != 1 {
+			t.Fatalf("%s: want exactly one publish hop, got %d", body, stages[trace.StagePublish])
+		}
+		if delivered[body] {
+			if stages[trace.StageForward] == 0 || stages[trace.StageDeliver] == 0 {
+				t.Fatalf("%s delivered but trace lacks hops: %+v", body, tr.Hops)
+			}
+			if tr.Hops[0].Stage != trace.StagePublish {
+				t.Fatalf("%s: trace must start at publish: %+v", body, tr.Hops)
+			}
+			last := tr.Hops[len(tr.Hops)-1]
+			if last.Stage != trace.StageDeliver || last.Peer != sub.EP.PeerID().String() {
+				t.Fatalf("%s: trace must end with the subscriber's deliver hop: %+v", body, tr.Hops)
+			}
+		} else if stages[trace.StageDeliver] != 0 {
+			t.Fatalf("%s was dropped by the link but has a deliver hop: %+v", body, tr.Hops)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/tps-p2p/tps/internal/core/codec"
 	"github.com/tps-p2p/tps/internal/jxta/adv"
@@ -12,6 +13,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/peergroup"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/wire"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // attach.go is the Connections block: it turns a found or created
@@ -179,6 +181,15 @@ func (e *Engine) onWireMessage(a *attachment, msg *message.Message) {
 		e.stats.duplicateEvents.Add(1)
 		return
 	}
+	// Traced events carry the publisher's clock: measure network
+	// transit and archive the deliver hop. The probe is an alloc-free
+	// element scan, so untraced messages pay only that.
+	if ev, sentUS, ok := trace.Info(msg); ok {
+		e.histTransit.Observe(time.Duration(time.Now().UnixMicro()-sentUS) * time.Microsecond)
+		if e.tracer != nil {
+			e.tracer.Record(ev, trace.StageDeliver, e.peer.ID(), sentUS, msg.Path)
+		}
+	}
 	path := msg.Text(elemNS, elemPath)
 	node, ok := e.reg.NodeByPath(path)
 	if !ok {
@@ -189,7 +200,9 @@ func (e *Engine) onWireMessage(a *attachment, msg *message.Message) {
 	}
 	if value, ok := e.self.get(eventID); ok {
 		e.stats.delivered.Add(1)
+		dstart := time.Now()
 		e.subs.dispatch(e.reg, node, value, msg.Src)
+		e.histDispatch.Observe(time.Since(dstart))
 		return
 	}
 	c := e.codec
@@ -205,5 +218,7 @@ func (e *Engine) onWireMessage(a *attachment, msg *message.Message) {
 		return
 	}
 	e.stats.delivered.Add(1)
+	dstart := time.Now()
 	e.subs.dispatch(e.reg, node, value, msg.Src)
+	e.histDispatch.Observe(time.Since(dstart))
 }

@@ -32,6 +32,8 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/peer"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
 	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/hist"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // PSPrefix prefixes every TPS advertisement name, as in the paper's
@@ -68,6 +70,14 @@ type Config struct {
 	FindTimeout time.Duration
 	// FindInterval is the background finder's period.
 	FindInterval time.Duration
+	// Tracer, when non-nil, receives hop records for sampled events
+	// (publish and deliver stages; the rendezvous layer records the
+	// forward stage into the same per-peer store).
+	Tracer *trace.Store
+	// TraceRate is the fraction of published events stamped with a
+	// trace element, in [0,1]. 0 (the default) disables tracing and
+	// leaves the publish path untouched.
+	TraceRate float64
 }
 
 // Engine is the TPS engine: one instance per type hierarchy.
@@ -93,6 +103,15 @@ type Engine struct {
 	// Per-message counters are atomics so the publish and deliver paths
 	// never touch e.mu just to count.
 	stats engineCounters
+
+	// Stage latency histograms; always on (recording is alloc-free).
+	histPublish  *hist.Hist // publish call → fan-out complete
+	histDispatch *hist.Hist // dispatch → last subscriber callback return
+	histTransit  *hist.Hist // publish stamp → local delivery (traced events only)
+
+	// Sampled hop tracing; sampler decides per event ID, tracer archives.
+	tracer  *trace.Store
+	sampler trace.Sampler
 
 	wg     sync.WaitGroup
 	stop   chan struct{}
@@ -159,6 +178,11 @@ func New(cfg Config) (*Engine, error) {
 		subs:         newSubscriptionSet(),
 		dedupe:       seen.New(),
 		self:         newPublishedEvents(),
+		histPublish:  hist.New(),
+		histDispatch: hist.New(),
+		histTransit:  hist.New(),
+		tracer:       cfg.Tracer,
+		sampler:      trace.NewSampler(cfg.TraceRate),
 		stop:         make(chan struct{}),
 		kick:         make(chan struct{}, 1),
 	}
@@ -229,6 +253,11 @@ func (e *Engine) Snapshot() obs.Snapshot {
 			"attachments":   float64(attachments),
 			"subscriptions": float64(e.SubscriptionCount()),
 		},
+		Hists: map[string]hist.Snapshot{
+			"publish_fanout_us": e.histPublish.Snapshot(),
+			"dispatch_us":       e.histDispatch.Snapshot(),
+			"transit_us":        e.histTransit.Snapshot(),
+		},
 	}
 }
 
@@ -252,6 +281,11 @@ func ZeroSnapshot() obs.Snapshot {
 		Gauges: map[string]float64{
 			"attachments":   0,
 			"subscriptions": 0,
+		},
+		Hists: map[string]hist.Snapshot{
+			"publish_fanout_us": {},
+			"dispatch_us":       {},
+			"transit_us":        {},
 		},
 	}
 }
@@ -342,6 +376,10 @@ func (e *Engine) Publish(event any) error {
 	if err := e.EnsureType(node); err != nil {
 		return err
 	}
+	// The publish_fanout_us histogram covers encode → envelope → every
+	// attachment handed off; EnsureType stays outside it because the
+	// first-publish advertisement search blocks for seconds by design.
+	start := time.Now()
 	payload, err := e.codec.Encode(event)
 	if err != nil {
 		return err
@@ -374,6 +412,17 @@ func (e *Engine) Publish(event any) error {
 	// loopback (and any mesh echo) dispatches it without a gob decode.
 	e.self.put(eventID, event)
 	msg := newEventMessage(e, eventID, node.Path(), payload)
+	// Deterministic sampling: every peer computes the same decision
+	// from the event ID, so a stamped event is traced end to end. The
+	// stamp appends one element and therefore only runs when sampled —
+	// with TraceRate 0 the publish path is byte-identical to before.
+	if e.sampler.Sample(eventID) {
+		sentUS := time.Now().UnixMicro()
+		trace.Stamp(msg, eventID, sentUS)
+		if e.tracer != nil {
+			e.tracer.Record(eventID, trace.StagePublish, e.peer.ID(), sentUS, nil)
+		}
+	}
 
 	var firstErr error
 	sent := 0
@@ -387,6 +436,7 @@ func (e *Engine) Publish(event any) error {
 		}
 		sent++
 	}
+	e.histPublish.Observe(time.Since(start))
 	if sent == 0 && firstErr != nil {
 		return fmt.Errorf("tps: publish %s: %w", node.Path(), firstErr)
 	}

@@ -23,6 +23,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/hist"
 )
 
 // Address is a transport-qualified address such as "tcp://10.0.0.1:9701"
@@ -158,6 +159,9 @@ type Service struct {
 	peerID  jid.ID
 	started time.Time
 	stats   epCounters
+	// encodeHist times frame enveloping + marshal (the wire-encode
+	// stage); recording is alloc-free, so it is always on.
+	encodeHist *hist.Hist
 
 	mu         sync.RWMutex
 	transports map[string]Transport
@@ -173,6 +177,7 @@ func New(peerID jid.ID) *Service {
 	return &Service{
 		peerID:     peerID,
 		started:    time.Now(),
+		encodeHist: hist.New(),
 		transports: make(map[string]Transport),
 		handlers:   make(map[handlerKey]Handler),
 	}
@@ -275,6 +280,7 @@ func (s *Service) encodeFrame(svc, param string, msg *message.Message) (*[]byte,
 	}
 	s.mu.RUnlock()
 
+	start := time.Now()
 	// Envelope mutations must not leak into the caller's message; the
 	// COW Dup shares the payload elements, and the ReplaceElements below
 	// clone just the headers, so enveloping never copies payload bytes.
@@ -289,6 +295,7 @@ func (s *Service) encodeFrame(svc, param string, msg *message.Message) (*[]byte,
 		return nil, fmt.Errorf("endpoint: marshal: %w", err)
 	}
 	*bufp = frame
+	s.encodeHist.Observe(time.Since(start))
 	return bufp, nil
 }
 
@@ -414,6 +421,9 @@ func (s *Service) Snapshot() obs.Snapshot {
 		Gauges: map[string]float64{
 			"transports": float64(transports),
 			"uptime_s":   time.Since(s.started).Seconds(),
+		},
+		Hists: map[string]hist.Snapshot{
+			"encode_us": s.encodeHist.Snapshot(),
 		},
 	}
 }

@@ -35,6 +35,7 @@
 package message
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -193,6 +194,19 @@ func (m *Message) Bytes(namespace, name string) []byte {
 		return nil
 	}
 	return e.Data
+}
+
+// Uint64 decodes the named element as an 8-byte big-endian unsigned
+// integer — the convention binary numeric elements use (the rdv:Seq
+// log sequence, the trc:Ev publish stamp). ok is false when the
+// element is absent or not exactly 8 bytes. The lookup is
+// allocation-free, so hot-path probes can afford it per message.
+func (m *Message) Uint64(namespace, name string) (uint64, bool) {
+	e, ok := m.Element(namespace, name)
+	if !ok || len(e.Data) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(e.Data), true
 }
 
 // ReplaceElement replaces the first element matching e's namespace and

@@ -41,6 +41,7 @@ func (p *Peer) EnableDaemon() (*Daemon, error) {
 		Seeds:      p.cfg.Seeds,
 		LeaseTTL:   p.cfg.LeaseTTL,
 		Log:        p.cfg.Log,
+		Tracer:     p.cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peer daemon: %w", err)

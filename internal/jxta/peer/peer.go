@@ -21,6 +21,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/peergroup"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous"
 	"github.com/tps-p2p/tps/internal/jxta/wire"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // Errors.
@@ -50,6 +51,10 @@ type Config struct {
 	// Log is the durable event log rendezvous services append to and
 	// replay from; nil (the default) disables durability entirely.
 	Log *eventlog.Log
+	// Tracer is the peer-local hop-trace store rendezvous services (and
+	// the engines above) record sampled-event hops into; nil disables
+	// forward-hop recording on this peer.
+	Tracer *trace.Store
 }
 
 // Peer is a running JXTA peer.
@@ -155,6 +160,9 @@ func (p *Peer) JoinGroup(cfg peergroup.Config) (*peergroup.Group, error) {
 	}
 	if cfg.Log == nil {
 		cfg.Log = p.cfg.Log
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = p.cfg.Tracer
 	}
 	if cfg.ID.IsZero() {
 		cfg.ID = jid.NetGroup

@@ -27,6 +27,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/resolver"
 	"github.com/tps-p2p/tps/internal/jxta/route"
 	"github.com/tps-p2p/tps/internal/jxta/wire"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // ErrNilEndpoint is returned when no endpoint service is supplied.
@@ -57,6 +58,9 @@ type Config struct {
 	// rendezvous service append propagated events to this durable log
 	// and serve replay requests from it. The group ID is the log topic.
 	Log *eventlog.Log
+	// Tracer is the peer-local hop-trace store the group's rendezvous
+	// service records sampled-event forward hops into; nil disables it.
+	Tracer *trace.Store
 }
 
 // Group is one peer's instance of a peer group: the full protocol stack
@@ -99,6 +103,7 @@ func New(ep *endpoint.Service, cfg Config) (*Group, error) {
 		Seeds:      cfg.Seeds,
 		LeaseTTL:   cfg.LeaseTTL,
 		Log:        cfg.Log,
+		Tracer:     cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)

@@ -25,6 +25,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/message"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
 	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 	"github.com/tps-p2p/tps/internal/retry"
 )
 
@@ -125,6 +126,11 @@ type Config struct {
 	// requests from reconnecting subscribers are served from it. Nil —
 	// the default — leaves the fire-and-forget hot path untouched.
 	Log *eventlog.Log
+	// Tracer, when set, archives a forward-stage hop record for every
+	// propagated message that carries a trace element (stamped by the
+	// publishing engine for sampled events). Untraced messages pay one
+	// allocation-free element probe; nil skips even that.
+	Tracer *trace.Store
 }
 
 // DefaultLeaseTTL is the lease duration granted by rendezvous peers.
@@ -228,6 +234,7 @@ type Service struct {
 	cooldown     time.Duration
 	seedPolicy   retry.Policy
 	log          *eventlog.Log
+	tracer       *trace.Store
 	stats        rdvCounters
 
 	gapMu sync.Mutex
@@ -290,6 +297,7 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 		cooldown:     cooldown,
 		seedPolicy:   seedPolicy,
 		log:          cfg.Log,
+		tracer:       cfg.Tracer,
 		clients:      make(map[clientKey]peerEntry),
 		rdvs:         make(map[jid.ID]peerEntry),
 		health:       make(map[endpoint.Address]*healthState),
@@ -598,6 +606,7 @@ func (s *Service) Propagate(msg *message.Message, dsvc, dparam string) error {
 	if s.log != nil && s.cfg.Role == RoleRendezvous {
 		s.appendToLog(out, s.cfg.GroupParam)
 	}
+	s.recordForward(out)
 
 	attempted, failed := s.fanOut(out, jid.Nil, s.cfg.GroupParam)
 	s.stats.propagated.Add(1)
@@ -930,8 +939,22 @@ func (s *Service) handleProp(msg *message.Message, from endpoint.Address) {
 		// and this rendezvous is now an origin for its subscribers.
 		s.appendToLog(fwd, param)
 	}
+	s.recordForward(fwd)
 	s.stats.propagated.Add(1)
 	s.fanOut(fwd, msg.Src, param)
+}
+
+// recordForward archives a forward-stage hop for messages carrying a
+// trace element. The stamped Path at this moment shows exactly which
+// peers the frame crossed to get here. No-op without a tracer; with
+// one, untraced messages cost a single allocation-free element scan.
+func (s *Service) recordForward(msg *message.Message) {
+	if s.tracer == nil {
+		return
+	}
+	if ev, sentUS, ok := trace.Info(msg); ok {
+		s.tracer.Record(ev, trace.StageForward, s.ep.PeerID(), sentUS, msg.Path)
+	}
 }
 
 // maintainLoop keeps leases with seed rendezvous alive (renewing at a

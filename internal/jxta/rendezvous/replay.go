@@ -69,11 +69,10 @@ func (s *Service) Log() *eventlog.Log { return s.log }
 // sequence it was assigned. ok is false for messages that never crossed
 // a logging rendezvous. The lookup is allocation-free.
 func ReplayInfo(msg *message.Message) (origin jid.ID, seq uint64, ok bool) {
-	e, found := msg.Element(elemNS, elemSeq)
-	if !found || len(e.Data) != 8 {
+	seq, found := msg.Uint64(elemNS, elemSeq)
+	if !found {
 		return jid.Nil, 0, false
 	}
-	seq = binary.BigEndian.Uint64(e.Data)
 	origin, err := msg.GetID(elemNS, elemLogSrc)
 	if err != nil {
 		return jid.Nil, 0, false

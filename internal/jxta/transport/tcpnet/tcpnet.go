@@ -23,6 +23,7 @@ import (
 
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/hist"
 	"github.com/tps-p2p/tps/internal/retry"
 )
 
@@ -100,6 +101,9 @@ type Transport struct {
 	ln    net.Listener
 	cfg   Config
 	stats tcpCounters
+	// waitHist times enqueue → flusher pickup per frame (queue wait);
+	// recording is alloc-free, so it is always on.
+	waitHist *hist.Hist
 
 	mu       sync.Mutex
 	recv     func([]byte)
@@ -136,6 +140,7 @@ func ListenConfig(addr string, cfg Config) (*Transport, error) {
 	t := &Transport{
 		ln:       ln,
 		cfg:      cfg,
+		waitHist: hist.New(),
 		queues:   make(map[string]*hostq),
 		accepted: make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
@@ -193,6 +198,9 @@ func (t *Transport) Snapshot() obs.Snapshot {
 		Gauges: map[string]float64{
 			"hosts":       float64(hosts),
 			"queue_depth": float64(depth),
+		},
+		Hists: map[string]hist.Snapshot{
+			"queue_wait_us": t.waitHist.Snapshot(),
 		},
 	}
 }
@@ -264,11 +272,20 @@ type hostq struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	frames    []*[]byte // pooled, length-prefixed buffers; FIFO from head
+	frames    []qframe // pooled, length-prefixed buffers; FIFO from head
 	head      int
 	conn      net.Conn  // flusher-owned; tracked here so Close can kill it
 	downUntil time.Time // breaker: enqueue fails fast until then
 	closed    bool
+}
+
+// qframe is one queued outbound frame: the pooled buffer plus its
+// enqueue instant, so pop can record how long it waited. The timestamp
+// rides the existing slice — amortized growth only, no per-frame
+// allocation.
+type qframe struct {
+	bp   *[]byte
+	atNS int64
 }
 
 func newHostq(t *Transport, host string) *hostq {
@@ -305,12 +322,12 @@ func (q *hostq) enqueue(frame []byte) error {
 	}
 	if len(q.frames)-q.head >= q.t.cfg.QueueLen {
 		old := q.frames[q.head]
-		q.frames[q.head] = nil
+		q.frames[q.head] = qframe{}
 		q.head++
-		wbufPool.Put(old)
+		wbufPool.Put(old.bp)
 		q.t.stats.dropped.Add(1)
 	}
-	q.frames = append(q.frames, bp)
+	q.frames = append(q.frames, qframe{bp: bp, atNS: time.Now().UnixNano()})
 	q.cond.Signal()
 	q.mu.Unlock()
 	q.t.stats.enqueued.Add(1)
@@ -327,14 +344,17 @@ func (q *hostq) pop() (*[]byte, bool) {
 	if q.closed {
 		return nil, false
 	}
-	bp := q.frames[q.head]
-	q.frames[q.head] = nil
+	f := q.frames[q.head]
+	q.frames[q.head] = qframe{}
 	q.head++
 	if q.head == len(q.frames) {
 		q.frames = q.frames[:0]
 		q.head = 0
 	}
-	return bp, true
+	if f.atNS != 0 {
+		q.t.waitHist.Observe(time.Duration(time.Now().UnixNano() - f.atNS))
+	}
+	return f.bp, true
 }
 
 // requeue puts an unsent frame back at the front so ordering survives a
@@ -346,13 +366,16 @@ func (q *hostq) requeue(bp *[]byte) {
 		wbufPool.Put(bp)
 		return
 	}
+	// Re-stamp on requeue: the frame starts a fresh queue wait behind
+	// the redial, and the time it already waited was recorded at pop.
+	f := qframe{bp: bp, atNS: time.Now().UnixNano()}
 	if q.head > 0 {
 		q.head--
-		q.frames[q.head] = bp
+		q.frames[q.head] = f
 	} else {
-		q.frames = append(q.frames, nil)
+		q.frames = append(q.frames, qframe{})
 		copy(q.frames[1:], q.frames)
-		q.frames[0] = bp
+		q.frames[0] = f
 	}
 	q.mu.Unlock()
 	q.t.stats.requeued.Add(1)
@@ -415,7 +438,7 @@ func (q *hostq) close() {
 	}
 	q.closed = true
 	for i := q.head; i < len(q.frames); i++ {
-		wbufPool.Put(q.frames[i])
+		wbufPool.Put(q.frames[i].bp)
 	}
 	q.frames = nil
 	q.head = 0

@@ -8,10 +8,15 @@
 // Endpoints, all rooted at the configured listen address:
 //
 //	GET  /stats          — obs.View: every subsystem's counters, gauges, rates
+//	GET  /metrics        — the same registry in Prometheus text exposition
 //	GET  /peers          — connected peers, leases, failure-detector state
 //	GET  /subscriptions  — live subscription table across engines
+//	GET  /trace          — retained traced events; /trace/{event-id} for hops
 //	GET  /health         — 200 {"status":"ok"} or 503 {"status":"degraded",...}
 //	POST /rpc            — JSON-RPC 2.0: stats, peers, subscriptions, health, ping
+//
+// With Config.Profiling set, net/http/pprof is additionally mounted
+// under /debug/pprof/.
 //
 // The server is off unless explicitly configured (tps.Config.AdminAddr)
 // and binds whatever address it is given — bind loopback unless the
@@ -25,9 +30,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"time"
 
 	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // DefaultPort is the conventional admin port, used by cmd/rendezvous
@@ -51,6 +59,15 @@ type Config struct {
 	// Health reports nil when the peer is healthy; the error becomes
 	// the degradation reason on GET /health (status 503).
 	Health func() error
+	// Trace, when set, serves the peer-local hop-trace archive: GET
+	// /trace lists retained traced events, GET /trace/{event-id} returns
+	// this peer's hop records for one event (clients merge the documents
+	// from several peers with trace.Assemble).
+	Trace *trace.Store
+	// Profiling mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose memory contents and cost CPU to capture —
+	// enable only on loopback-bound addresses or trusted networks.
+	Profiling bool
 }
 
 // Server is a running admin endpoint.
@@ -104,6 +121,36 @@ func Handler(cfg Config) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, cfg.Registry.Collect())
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowGet(w, r) {
+			return
+		}
+		w.Header().Set("Content-Type", metricsContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(renderMetrics(cfg.Registry.Collect()))
+	})
+	if cfg.Trace != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			if !allowGet(w, r) {
+				return
+			}
+			writeJSON(w, http.StatusOK, traceListDoc(cfg.Trace))
+		})
+		mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+			if !allowGet(w, r) {
+				return
+			}
+			id := strings.TrimPrefix(r.URL.Path, "/trace/")
+			writeJSON(w, http.StatusOK, traceEventDoc(cfg.Trace, id))
+		})
+	}
+	if cfg.Profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/peers", func(w http.ResponseWriter, r *http.Request) {
 		if !allowGet(w, r) {
 			return
@@ -162,6 +209,34 @@ func subscriptionsDoc(in obs.Inspection) any {
 		Types         []string                `json:"types,omitempty"`
 		Subscriptions []obs.SubscriptionEntry `json:"subscriptions"`
 	}{in.Schema, in.PeerID, in.Types, orEmptySubs(in.Subscriptions)}
+}
+
+// traceListDoc lists the traced events this peer retains.
+func traceListDoc(s *trace.Store) any {
+	events := s.Events()
+	if events == nil {
+		events = []trace.EventSummary{}
+	}
+	return struct {
+		Schema int                  `json:"schema"`
+		Events []trace.EventSummary `json:"events"`
+	}{obs.SchemaVersion, events}
+}
+
+// traceEventDoc returns this peer's hop records for one event. Unknown
+// events yield an empty hops array rather than 404: a cross-peer trace
+// query asks every peer and merges whatever each one saw, and "saw
+// nothing" is a valid answer.
+func traceEventDoc(s *trace.Store, eventID string) any {
+	hops := s.Hops(eventID)
+	if hops == nil {
+		hops = []trace.Hop{}
+	}
+	return struct {
+		Schema  int         `json:"schema"`
+		EventID string      `json:"event_id"`
+		Hops    []trace.Hop `json:"hops"`
+	}{obs.SchemaVersion, eventID, hops}
 }
 
 func healthDoc(cfg Config) (any, int) {

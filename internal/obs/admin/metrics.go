@@ -1,0 +1,263 @@
+package admin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/hist"
+)
+
+// metricsContentType is the Prometheus text exposition format version
+// the /metrics endpoint speaks.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// renderMetrics renders a collected stats view in the Prometheus text
+// exposition format: every counter becomes `tps_<subsystem>_<key>_total`,
+// every gauge `tps_<subsystem>_<key>`, and every latency histogram a
+// native Prometheus histogram (`_bucket{le=...}` cumulative series plus
+// `_sum` and `_count`) with bucket bounds in microseconds, straight from
+// the fixed log-linear layout in internal/obs/hist. The renderer reads
+// only the snapshot document, so /metrics costs exactly one registry
+// Collect — nothing is added to any hot path.
+func renderMetrics(v obs.View) []byte {
+	var b strings.Builder
+	for _, s := range v.Subsystems {
+		prefix := "tps_" + sanitizeMetric(s.Name) + "_"
+		for _, k := range sortedMetricKeys(s.Counters) {
+			name := prefix + sanitizeMetric(k) + "_total"
+			fmt.Fprintf(&b, "# HELP %s Total %s.%s events since the peer started.\n", name, s.Name, k)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+			fmt.Fprintf(&b, "%s %d\n", name, s.Counters[k])
+		}
+		for _, k := range sortedMetricKeys(s.Gauges) {
+			name := prefix + sanitizeMetric(k)
+			fmt.Fprintf(&b, "# HELP %s Current %s.%s level.\n", name, s.Name, k)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(&b, "%s %s\n", name, formatMetricValue(s.Gauges[k]))
+		}
+		for _, k := range sortedMetricKeys(s.Hists) {
+			writeHistogram(&b, prefix+sanitizeMetric(k), s.Name, k, s.Hists[k])
+		}
+	}
+	return []byte(b.String())
+}
+
+// writeHistogram emits one Prometheus histogram: cumulative bucket
+// counts at each occupied bucket's upper bound, the mandatory +Inf
+// bucket, then _sum and _count. Sparse snapshots stay sparse — an empty
+// bucket range adds no series.
+func writeHistogram(b *strings.Builder, name, subsystem, key string, sn hist.Snapshot) {
+	fmt.Fprintf(b, "# HELP %s %s.%s latency distribution in microseconds.\n", name, subsystem, key)
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for _, bk := range sn.Buckets {
+		ub := hist.UpperBoundUS(bk.I)
+		if math.IsInf(ub, 1) {
+			// The overflow bucket is covered by the +Inf series below.
+			break
+		}
+		cum += bk.N
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatFloat(ub, 'f', -1, 64), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, sn.Count)
+	fmt.Fprintf(b, "%s_sum %d\n", name, sn.SumUS)
+	fmt.Fprintf(b, "%s_count %d\n", name, sn.Count)
+}
+
+// ValidateExposition checks a Prometheus text-format document for the
+// invariants promtool's `check metrics` would enforce, without needing
+// promtool in the build image: every sample carries a preceding TYPE,
+// counter samples end in _total and never go negative, histogram bucket
+// series have strictly increasing le bounds with non-decreasing
+// cumulative counts, and every histogram closes with a +Inf bucket
+// whose value equals its _count. Tests and CI call it against /metrics
+// output; a nil return means a Prometheus scraper would accept the
+// document.
+func ValidateExposition(body string) error {
+	type histState struct {
+		lastLe   float64
+		lastCum  float64
+		infCount float64
+		count    float64
+		haveInf  bool
+		haveSum  bool
+		haveCnt  bool
+	}
+	types := make(map[string]string)
+	hists := make(map[string]*histState)
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				fields := strings.Fields(line[len("# TYPE "):])
+				if len(fields) != 2 {
+					return fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				name, typ := fields[0], fields[1]
+				if typ != "counter" && typ != "gauge" && typ != "histogram" {
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = typ
+				if typ == "histogram" {
+					hists[name] = &histState{lastLe: math.Inf(-1)}
+				}
+			}
+			continue
+		}
+		// Sample line: name[{labels}] value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return fmt.Errorf("line %d: unbalanced label braces", lineNo)
+			}
+			name, labels = line[:i], line[i+1:j]
+			line = line[:i] + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("line %d: want 'name value', got %d fields", lineNo, len(fields))
+		}
+		if i := strings.IndexByte(name, ' '); i >= 0 {
+			name = name[:i]
+		}
+		if sanitizeMetric(name) != name {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		val, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad sample value %q: %v", lineNo, fields[1], err)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if _, isHist := hists[trimmed]; isHist {
+					base, suffix = trimmed, sfx
+				}
+				break
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %s has no TYPE", lineNo, name)
+		}
+		switch {
+		case typ == "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter %s must end in _total", lineNo, name)
+			}
+			if val < 0 {
+				return fmt.Errorf("line %d: counter %s is negative", lineNo, name)
+			}
+		case typ == "histogram" && suffix == "_bucket":
+			h := hists[base]
+			le, err := parseLe(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %s: %v", lineNo, name, err)
+			}
+			if le <= h.lastLe {
+				return fmt.Errorf("line %d: %s le=%v not increasing", lineNo, name, le)
+			}
+			if val < h.lastCum {
+				return fmt.Errorf("line %d: %s cumulative count decreased", lineNo, name)
+			}
+			h.lastLe, h.lastCum = le, val
+			if math.IsInf(le, 1) {
+				h.haveInf, h.infCount = true, val
+			}
+		case typ == "histogram" && suffix == "_sum":
+			hists[base].haveSum = true
+		case typ == "histogram" && suffix == "_count":
+			h := hists[base]
+			h.haveCnt, h.count = true, val
+		case typ == "histogram":
+			return fmt.Errorf("line %d: histogram %s sample lacks _bucket/_sum/_count", lineNo, name)
+		}
+	}
+	for name, h := range hists {
+		if !h.haveInf || !h.haveSum || !h.haveCnt {
+			return fmt.Errorf("histogram %s incomplete (inf=%v sum=%v count=%v)", name, h.haveInf, h.haveSum, h.haveCnt)
+		}
+		if h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", name, h.infCount, h.count)
+		}
+	}
+	return nil
+}
+
+// parseLe extracts the le bound from a bucket's label set.
+func parseLe(labels string) (float64, error) {
+	for _, kv := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k != "le" {
+			continue
+		}
+		v = strings.Trim(v, `"`)
+		if v == "+Inf" {
+			return math.Inf(1), nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	return 0, errors.New("bucket sample has no le label")
+}
+
+// sanitizeMetric maps a subsystem or key name into the Prometheus
+// metric-name alphabet [a-zA-Z0-9_]. Our names are lower_snake already;
+// this is a guard, not a transformation.
+func sanitizeMetric(s string) string {
+	ok := true
+	for i := 0; i < len(s); i++ {
+		if !isMetricChar(s[i]) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return s
+	}
+	out := []byte(s)
+	for i, c := range out {
+		if !isMetricChar(c) {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+func isMetricChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// sortedMetricKeys returns the map's keys sorted, so the exposition is
+// deterministic and diffs cleanly.
+func sortedMetricKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatMetricValue renders a gauge sample. Integral values print
+// without an exponent so the common case (counts used as levels) stays
+// human-readable.
+func formatMetricValue(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

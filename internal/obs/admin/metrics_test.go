@@ -1,0 +1,244 @@
+package admin
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/obs"
+	"github.com/tps-p2p/tps/internal/obs/hist"
+	"github.com/tps-p2p/tps/internal/obs/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// metricsTestView builds a deterministic multi-subsystem view: fixed
+// counters, a gauge, and a histogram spanning the linear range, the
+// log-linear range and the overflow bucket.
+func metricsTestView() obs.View {
+	reg := obs.NewRegistry()
+	at := time.UnixMilli(1_700_000_000_000)
+	reg.SetClock(func() time.Time { return at })
+	h := hist.New()
+	for _, d := range []time.Duration{
+		3 * time.Microsecond,
+		40 * time.Microsecond,
+		40 * time.Microsecond,
+		2 * time.Millisecond,
+		120 * time.Second, // past MaxValueUS: lands in the overflow bucket
+	} {
+		h.Observe(d)
+	}
+	reg.RegisterFunc("engine", func() obs.Snapshot {
+		return obs.Snapshot{Name: "engine", Version: 2,
+			Counters: map[string]int64{"published": 42, "delivered": 40},
+			Gauges:   map[string]float64{"subscriptions": 2},
+			Hists:    map[string]hist.Snapshot{"publish_fanout_us": h.Snapshot()},
+		}
+	})
+	reg.RegisterFunc("seen", func() obs.Snapshot {
+		return obs.Snapshot{Name: "seen", Version: 1,
+			Counters: map[string]int64{"observed": 7, "duplicates": 3},
+			Gauges:   map[string]float64{"occupancy_ratio": 0.25},
+		}
+	})
+	return reg.Collect()
+}
+
+// TestMetricsGolden pins the exact Prometheus text exposition byte for
+// byte. Run with -update to regenerate after an intentional format
+// change.
+func TestMetricsGolden(t *testing.T) {
+	got := renderMetrics(metricsTestView())
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	if err := ValidateExposition(string(got)); err != nil {
+		t.Fatalf("golden exposition invalid: %v", err)
+	}
+}
+
+// TestMetricsEndpoint checks the live endpoint: content type, validity,
+// and that every counter and histogram the registry carries appears in
+// the exposition under its prometheus name.
+func TestMetricsEndpoint(t *testing.T) {
+	cfg, published := testConfig(nil)
+	published.Store(9)
+	srv := httptest.NewServer(Handler(cfg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metricsContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, body)
+	}
+	// Coverage: every registry counter must appear as a _total series.
+	for _, s := range cfg.Registry.Collect().Subsystems {
+		for k := range s.Counters {
+			name := "tps_" + s.Name + "_" + k + "_total"
+			if !strings.Contains(body, "\n"+name+" ") && !strings.HasPrefix(body, name+" ") {
+				t.Errorf("counter %s.%s missing from exposition (want %s)", s.Name, k, name)
+			}
+		}
+		for k := range s.Hists {
+			name := "tps_" + s.Name + "_" + k + "_count"
+			if !strings.Contains(body, name+" ") {
+				t.Errorf("histogram %s.%s missing from exposition", s.Name, k)
+			}
+		}
+	}
+	if !strings.Contains(body, "tps_engine_published_total 9") {
+		t.Fatalf("live counter value missing:\n%s", body)
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator documents a
+// Prometheus scraper would reject.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "tps_x_total 1\n",
+		"counter not _total":  "# TYPE tps_x counter\ntps_x 1\n",
+		"negative counter":    "# TYPE tps_x_total counter\ntps_x_total -1\n",
+		"le not increasing": "# TYPE tps_h histogram\n" +
+			"tps_h_bucket{le=\"5\"} 1\ntps_h_bucket{le=\"2\"} 2\n" +
+			"tps_h_bucket{le=\"+Inf\"} 2\ntps_h_sum 3\ntps_h_count 2\n",
+		"cumulative decreases": "# TYPE tps_h histogram\n" +
+			"tps_h_bucket{le=\"2\"} 3\ntps_h_bucket{le=\"5\"} 1\n" +
+			"tps_h_bucket{le=\"+Inf\"} 3\ntps_h_sum 3\ntps_h_count 3\n",
+		"histogram without +Inf": "# TYPE tps_h histogram\n" +
+			"tps_h_bucket{le=\"2\"} 1\ntps_h_sum 2\ntps_h_count 1\n",
+		"+Inf != count": "# TYPE tps_h histogram\n" +
+			"tps_h_bucket{le=\"+Inf\"} 2\ntps_h_sum 3\ntps_h_count 3\n",
+		"garbage value": "# TYPE tps_x_total counter\ntps_x_total banana\n",
+	}
+	for label, doc := range cases {
+		if err := ValidateExposition(doc); err == nil {
+			t.Errorf("%s: accepted invalid document", label)
+		}
+	}
+	if err := ValidateExposition(string(renderMetrics(metricsTestView()))); err != nil {
+		t.Errorf("rejected valid document: %v", err)
+	}
+}
+
+// TestTraceEndpoints exercises /trace and /trace/{id}: the event list,
+// one event's hops, and the empty-not-404 contract for unknown IDs.
+func TestTraceEndpoints(t *testing.T) {
+	cfg, _ := testConfig(nil)
+	store := trace.NewStore(0)
+	at := time.UnixMicro(1_000_000)
+	store.SetClock(func() time.Time { return at })
+	ev, peer := jid.NewMessage(), jid.NewPeer()
+	store.Record(ev, trace.StagePublish, peer, 999_000, nil)
+	store.Record(ev, trace.StageDeliver, peer, 999_000, []jid.ID{peer})
+	cfg.Trace = store
+	srv := httptest.NewServer(Handler(cfg))
+	defer srv.Close()
+
+	var list struct {
+		Schema int                  `json:"schema"`
+		Events []trace.EventSummary `json:"events"`
+	}
+	getJSON(t, srv, "/trace", http.StatusOK, &list)
+	if list.Schema != obs.SchemaVersion || len(list.Events) != 1 {
+		t.Fatalf("trace list = %+v", list)
+	}
+	if list.Events[0].EventID != ev.String() || list.Events[0].Hops != 2 {
+		t.Fatalf("event summary = %+v", list.Events[0])
+	}
+
+	var doc struct {
+		EventID string      `json:"event_id"`
+		Hops    []trace.Hop `json:"hops"`
+	}
+	getJSON(t, srv, "/trace/"+ev.String(), http.StatusOK, &doc)
+	if doc.EventID != ev.String() || len(doc.Hops) != 2 {
+		t.Fatalf("trace doc = %+v", doc)
+	}
+	if doc.Hops[0].Stage != trace.StagePublish || doc.Hops[1].Path == nil {
+		t.Fatalf("hops = %+v", doc.Hops)
+	}
+
+	getJSON(t, srv, "/trace/"+jid.NewMessage().String(), http.StatusOK, &doc)
+	if len(doc.Hops) != 0 {
+		t.Fatalf("unknown event hops = %+v", doc.Hops)
+	}
+}
+
+// TestTraceRouteAbsentWithoutStore pins that peers without a trace
+// store don't serve the route at all.
+func TestTraceRouteAbsentWithoutStore(t *testing.T) {
+	cfg, _ := testConfig(nil)
+	srv := httptest.NewServer(Handler(cfg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace without store = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestProfilingFlag pins that pprof is absent by default and mounted
+// with Config.Profiling.
+func TestProfilingFlag(t *testing.T) {
+	cfg, _ := testConfig(nil)
+	srv := httptest.NewServer(Handler(cfg))
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	srv.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without flag: %d", resp.StatusCode)
+	}
+
+	cfg.Profiling = true
+	srv = httptest.NewServer(Handler(cfg))
+	defer srv.Close()
+	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline with flag = %d", resp.StatusCode)
+	}
+}

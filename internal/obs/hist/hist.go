@@ -1,0 +1,210 @@
+// Package hist provides a lock-free, fixed-bucket log-linear latency
+// histogram for hot-path instrumentation.
+//
+// The bucket layout trades memory for mergeability and bounded error:
+// values are microsecond durations placed into 8 linear sub-buckets per
+// power-of-two octave (≤ 12.5% relative error), with exact single-value
+// buckets below 16µs and a single overflow bucket above ~67s. The
+// layout is a compile-time constant, so snapshots taken on different
+// peers (or at different times) merge by summing counts bucket-wise —
+// the same property obs.Snapshot counters have.
+//
+// Observe is wait-free and performs zero allocations: two atomic adds
+// against a fixed array. That makes it safe to
+// call from the publish→deliver hot path, which is alloc-gated by
+// TestHotPathAllocBudget.
+package hist
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	subBits  = 3            // 2^3 = 8 sub-buckets per octave
+	sub      = 1 << subBits // sub-buckets per octave
+	linear   = 2 * sub      // values below this get exact buckets
+	maxShift = 22           // octaves above the linear range
+
+	// MaxValueUS is the first value (in µs) that lands in the overflow
+	// bucket: 16µs << 22 ≈ 67s. Anything slower than that is "broken",
+	// not "slow", and exact resolution stops mattering.
+	MaxValueUS = uint64(linear) << maxShift
+
+	// NumBuckets is the fixed bucket count: (maxShift+2)*sub normal
+	// buckets plus one overflow bucket.
+	NumBuckets = (maxShift+2)*sub + 1
+
+	overflowBucket = NumBuckets - 1
+)
+
+// Hist is a concurrency-safe latency histogram. The zero value is
+// ready to use; copying a Hist after first use is not allowed (it
+// contains atomics), so embed it by pointer.
+type Hist struct {
+	buckets [NumBuckets]atomic.Int64
+	sum     atomic.Int64 // total observed microseconds
+}
+
+// New returns an empty histogram.
+func New() *Hist { return &Hist{} }
+
+// Observe records one duration. Negative durations clamp to zero
+// (wall-clock skew between peers can produce them for network
+// transit). Zero allocations; safe from any goroutine.
+func (h *Hist) Observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.buckets[bucketOf(uint64(us))].Add(1)
+	h.sum.Add(us)
+}
+
+// bucketOf maps a microsecond value to its bucket index.
+func bucketOf(v uint64) int {
+	if v >= MaxValueUS {
+		return overflowBucket
+	}
+	exp := bits.Len64(v)
+	if exp <= subBits+1 {
+		return int(v) // exact buckets for 0..linear-1
+	}
+	shift := exp - subBits - 1
+	return int(v>>shift) + shift*sub
+}
+
+// UpperBoundUS returns the inclusive upper bound (in µs) of bucket i,
+// or +Inf for the overflow bucket. Bounds are strictly increasing in i,
+// which is what Prometheus `le` labels and quantile estimation need.
+func UpperBoundUS(i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	if i >= overflowBucket {
+		return math.Inf(1)
+	}
+	if i < linear {
+		return float64(i)
+	}
+	shift := i/sub - 1
+	return float64((uint64(i-shift*sub)+1)<<shift - 1)
+}
+
+// Bucket is one non-empty histogram bucket in a Snapshot: index into
+// the fixed layout plus its count.
+type Bucket struct {
+	I int   `json:"i"`
+	N int64 `json:"n"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable copy of a histogram.
+// Only non-empty buckets are carried (sorted by index), so idle
+// histograms serialize to a few bytes. Snapshots from different
+// instances merge with Merge and subtract with Delta.
+type Snapshot struct {
+	Count   int64    `json:"count"`
+	SumUS   int64    `json:"sum_us"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the current state. Counts are read without a global
+// lock, so a snapshot taken concurrently with Observe may be torn by a
+// few in-flight observations; Count is re-derived from the bucket sum
+// so the invariant sum(buckets) == Count always holds.
+func (h *Hist) Snapshot() Snapshot {
+	s := Snapshot{SumUS: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{I: i, N: n})
+			s.Count += n
+		}
+	}
+	return s
+}
+
+// Merge returns the bucket-wise sum of two snapshots.
+func Merge(a, b Snapshot) Snapshot {
+	out := Snapshot{Count: a.Count + b.Count, SumUS: a.SumUS + b.SumUS}
+	out.Buckets = make([]Bucket, 0, len(a.Buckets)+len(b.Buckets))
+	i, j := 0, 0
+	for i < len(a.Buckets) || j < len(b.Buckets) {
+		switch {
+		case j >= len(b.Buckets) || (i < len(a.Buckets) && a.Buckets[i].I < b.Buckets[j].I):
+			out.Buckets = append(out.Buckets, a.Buckets[i])
+			i++
+		case i >= len(a.Buckets) || b.Buckets[j].I < a.Buckets[i].I:
+			out.Buckets = append(out.Buckets, b.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, Bucket{I: a.Buckets[i].I, N: a.Buckets[i].N + b.Buckets[j].N})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Delta returns cur minus prev, clamping each bucket at zero. Use it
+// to derive per-interval histograms from two cumulative snapshots
+// (e.g. tpsctl watch computing p99 per poll interval).
+func Delta(cur, prev Snapshot) Snapshot {
+	sub := make(map[int]int64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		sub[b.I] = b.N
+	}
+	var out Snapshot
+	for _, b := range cur.Buckets {
+		n := b.N - sub[b.I]
+		if n <= 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, Bucket{I: b.I, N: n})
+		out.Count += n
+	}
+	if s := cur.SumUS - prev.SumUS; s > 0 {
+		out.SumUS = s
+	}
+	return out
+}
+
+// Quantile estimates the p-th quantile (p in [0,1]) in microseconds,
+// as the upper bound of the bucket containing that rank. Returns 0 for
+// an empty snapshot; the overflow bucket reports MaxValueUS rather
+// than +Inf so callers can always print a number.
+func (s Snapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= target {
+			if b.I >= overflowBucket {
+				return float64(MaxValueUS)
+			}
+			return UpperBoundUS(b.I)
+		}
+	}
+	return float64(MaxValueUS)
+}
+
+// MeanUS returns the arithmetic mean in microseconds, or 0 when empty.
+func (s Snapshot) MeanUS() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumUS) / float64(s.Count)
+}

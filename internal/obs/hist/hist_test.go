@@ -1,0 +1,270 @@
+package hist
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every representable microsecond value must land in exactly one
+// bucket, and the bucket's bounds must contain it.
+func TestBucketLayout(t *testing.T) {
+	// Bounds strictly increase.
+	prev := -1.0
+	for i := 0; i < overflowBucket; i++ {
+		ub := UpperBoundUS(i)
+		if ub <= prev {
+			t.Fatalf("bucket %d upper bound %v not > previous %v", i, ub, prev)
+		}
+		prev = ub
+	}
+	if !math.IsInf(UpperBoundUS(overflowBucket), 1) {
+		t.Fatalf("overflow bucket bound = %v, want +Inf", UpperBoundUS(overflowBucket))
+	}
+
+	// Spot-check assignment against bounds across the whole range,
+	// including every octave boundary.
+	check := func(v uint64) {
+		t.Helper()
+		b := bucketOf(v)
+		if v >= MaxValueUS {
+			if b != overflowBucket {
+				t.Fatalf("bucketOf(%d) = %d, want overflow %d", v, b, overflowBucket)
+			}
+			return
+		}
+		ub := UpperBoundUS(b)
+		var lb float64
+		if b > 0 {
+			lb = UpperBoundUS(b - 1)
+		} else {
+			lb = -1
+		}
+		if float64(v) <= lb || float64(v) > ub {
+			t.Fatalf("value %d in bucket %d, but bounds are (%v, %v]", v, b, lb, ub)
+		}
+	}
+	for v := uint64(0); v < 4096; v++ {
+		check(v)
+	}
+	for shift := 0; shift < 40; shift++ {
+		base := uint64(1) << shift
+		for _, v := range []uint64{base - 1, base, base + 1} {
+			check(v)
+		}
+	}
+	check(MaxValueUS - 1)
+	check(MaxValueUS)
+	check(MaxValueUS * 3)
+}
+
+func TestObserveAndSnapshot(t *testing.T) {
+	h := New()
+	h.Observe(5 * time.Microsecond)
+	h.Observe(5 * time.Microsecond)
+	h.Observe(300 * time.Microsecond)
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(10 * time.Minute)
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if want := int64(5 + 5 + 300 + 0 + 10*60*1e6); s.SumUS != want {
+		t.Fatalf("sum = %d, want %d", s.SumUS, want)
+	}
+	var total int64
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].I <= s.Buckets[i-1].I {
+			t.Fatalf("snapshot buckets not sorted: %v", s.Buckets)
+		}
+	}
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.I != overflowBucket || last.N != 1 {
+		t.Fatalf("10min observation not in overflow bucket: %v", s.Buckets)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := New()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct{ p, exact float64 }{
+		{0.5, 500}, {0.9, 900}, {0.99, 990}, {1, 1000},
+	} {
+		got := s.Quantile(tc.p)
+		// Log-linear buckets guarantee ≤ 12.5% overestimate (the
+		// estimate is the bucket's upper bound, never below the rank).
+		if got < tc.exact || got > tc.exact*1.125+1 {
+			t.Fatalf("Quantile(%v) = %v, want within [%v, %v]", tc.p, got, tc.exact, tc.exact*1.125+1)
+		}
+	}
+	if q := (Snapshot{}).Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	one := New()
+	one.Observe(time.Hour)
+	if q := one.Snapshot().Quantile(0.5); q != float64(MaxValueUS) {
+		t.Fatalf("overflow quantile = %v, want %v", q, float64(MaxValueUS))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Duration(i) * time.Microsecond)
+		b.Observe(time.Duration(i*37) * time.Microsecond)
+	}
+	merged := Merge(a.Snapshot(), b.Snapshot())
+
+	// Merging must equal observing everything into one histogram.
+	both := New()
+	for i := 0; i < 100; i++ {
+		both.Observe(time.Duration(i) * time.Microsecond)
+		both.Observe(time.Duration(i*37) * time.Microsecond)
+	}
+	want := both.Snapshot()
+	if merged.Count != want.Count || merged.SumUS != want.SumUS {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.SumUS, want.Count, want.SumUS)
+	}
+	if len(merged.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets %v, want %v", merged.Buckets, want.Buckets)
+	}
+	for i := range want.Buckets {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("merged bucket %d = %v, want %v", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	// Merge with the zero snapshot is identity.
+	id := Merge(want, Snapshot{})
+	if id.Count != want.Count || id.SumUS != want.SumUS || len(id.Buckets) != len(want.Buckets) {
+		t.Fatalf("merge with zero changed snapshot: %+v vs %+v", id, want)
+	}
+}
+
+func TestDelta(t *testing.T) {
+	h := New()
+	h.Observe(10 * time.Microsecond)
+	h.Observe(20 * time.Microsecond)
+	prev := h.Snapshot()
+	h.Observe(10 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	cur := h.Snapshot()
+
+	d := Delta(cur, prev)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if want := int64(10 + 5000); d.SumUS != want {
+		t.Fatalf("delta sum = %d, want %d", d.SumUS, want)
+	}
+	if q := d.Quantile(1); q < 5000 || q > 5000*1.125 {
+		t.Fatalf("delta max quantile = %v, want ~5000", q)
+	}
+	// Delta against itself is empty.
+	if e := Delta(cur, cur); e.Count != 0 || len(e.Buckets) != 0 {
+		t.Fatalf("self-delta not empty: %+v", e)
+	}
+}
+
+// Concurrent Observe + Snapshot under -race: the histogram must never
+// lose counts, and every snapshot must be internally consistent.
+func TestConcurrentObserve(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+	h := New()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader checks snapshot consistency
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var total int64
+			for _, b := range s.Buckets {
+				total += b.N
+			}
+			if total != s.Count {
+				t.Errorf("torn snapshot: bucket total %d != count %d", total, s.Count)
+				return
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*perG+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Fatalf("count = %d, want %d", s.Count, want)
+	}
+}
+
+// The acceptance-criteria gate: recording into a histogram performs
+// zero allocations, so always-on stage histograms cannot regress the
+// publish→deliver alloc budget.
+func TestObserveAllocFree(t *testing.T) {
+	h := New()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(137 * time.Microsecond)
+		h.Observe(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	h := New()
+	h.Observe(42 * time.Microsecond)
+	h.Observe(9 * time.Millisecond)
+	s := h.Snapshot()
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.SumUS != s.SumUS || len(back.Buckets) != len(s.Buckets) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+	}
+	if q1, q2 := s.Quantile(0.5), back.Quantile(0.5); q1 != q2 {
+		t.Fatalf("quantile changed across round trip: %v vs %v", q1, q2)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xffff) * time.Microsecond)
+	}
+}

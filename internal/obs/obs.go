@@ -21,12 +21,18 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/tps-p2p/tps/internal/obs/hist"
 )
 
 // SchemaVersion identifies the JSON shape of View, Snapshot and
 // Inspection. Bump it whenever a field is renamed, removed, or changes
 // meaning; adding fields is backward compatible and does not bump it.
-const SchemaVersion = 1
+//
+// Schema 2 (PR 9): Snapshot grew the Hists map of per-stage latency
+// histograms. Counters, gauges and the View envelope are unchanged;
+// the bump marks that consumers may rely on histogram presence.
+const SchemaVersion = 2
 
 // Snapshot is one subsystem's point-in-time state: monotonic counters
 // (totals since the subsystem started) and level gauges (current
@@ -47,6 +53,9 @@ type Snapshot struct {
 	// Gauges are instantaneous levels (queue depth, live attachments,
 	// cache occupancy).
 	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Hists are per-stage latency histograms (`*_us` keys, microsecond
+	// buckets — see internal/obs/hist for the fixed bucket layout).
+	Hists map[string]hist.Snapshot `json:"histograms,omitempty"`
 }
 
 // Provider yields a subsystem snapshot. Implementations must be safe to
@@ -82,6 +91,12 @@ func Merge(name string, snaps ...Snapshot) Snapshot {
 				out.Gauges = make(map[string]float64)
 			}
 			out.Gauges[k] += v
+		}
+		for k, h := range s.Hists {
+			if out.Hists == nil {
+				out.Hists = make(map[string]hist.Snapshot)
+			}
+			out.Hists[k] = hist.Merge(out.Hists[k], h)
 		}
 	}
 	return out

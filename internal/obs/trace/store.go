@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+// Defaults for Store bounds.
+const (
+	// DefaultMaxEvents bounds how many distinct traced events a peer
+	// retains; the oldest event is evicted FIFO when the bound is hit.
+	DefaultMaxEvents = 256
+	// maxHopsPerEvent caps hop records for a single event so a
+	// propagation loop cannot grow an entry without bound.
+	maxHopsPerEvent = 64
+)
+
+// Hop is one recorded touch of a traced event at one peer. AtUS and
+// SentUS are unix microseconds on the recording and publishing peer's
+// clocks respectively — cross-peer ordering is therefore subject to
+// clock skew, which Assemble tolerates by also ordering on stage.
+type Hop struct {
+	EventID string   `json:"event_id"`
+	Peer    string   `json:"peer"`
+	Stage   string   `json:"stage"`
+	AtUS    int64    `json:"at_us"`
+	SentUS  int64    `json:"sent_us,omitempty"`
+	Path    []string `json:"path,omitempty"`
+}
+
+type entry struct {
+	hops []Hop
+}
+
+// Store is a bounded, peer-local archive of hop records for sampled
+// events. All methods are safe for concurrent use. Recording is only
+// ever invoked for sampled events, so it may allocate; the unsampled
+// hot path never reaches it.
+type Store struct {
+	mu     sync.Mutex
+	max    int
+	events map[jid.ID]*entry
+	order  []jid.ID // insertion order for FIFO eviction
+	now    func() time.Time
+}
+
+// NewStore returns a store retaining up to maxEvents traced events
+// (DefaultMaxEvents when maxEvents <= 0).
+func NewStore(maxEvents int) *Store {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &Store{
+		max:    maxEvents,
+		events: make(map[jid.ID]*entry),
+		now:    time.Now,
+	}
+}
+
+// SetClock overrides the wall clock, for deterministic tests.
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Record appends a hop for eventID as observed on peer. sentUS is the
+// publish stamp carried by the message element; path is the message's
+// Path at recording time (copied, so callers may keep mutating it).
+func (s *Store) Record(eventID jid.ID, stage string, peer jid.ID, sentUS int64, path []jid.ID) {
+	if eventID.IsZero() {
+		return
+	}
+	var ps []string
+	if len(path) > 0 {
+		ps = make([]string, len(path))
+		for i, p := range path {
+			ps[i] = p.String()
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.events[eventID]
+	if e == nil {
+		for len(s.order) >= s.max {
+			delete(s.events, s.order[0])
+			s.order = s.order[1:]
+		}
+		e = &entry{}
+		s.events[eventID] = e
+		s.order = append(s.order, eventID)
+	}
+	if len(e.hops) >= maxHopsPerEvent {
+		return
+	}
+	e.hops = append(e.hops, Hop{
+		EventID: eventID.String(),
+		Peer:    peer.String(),
+		Stage:   stage,
+		AtUS:    s.now().UnixMicro(),
+		SentUS:  sentUS,
+		Path:    ps,
+	})
+}
+
+// Hops returns this peer's recorded hops for the event, by canonical
+// URN (as printed by jid.ID.String). nil when the event is unknown.
+func (s *Store) Hops(eventID string) []Hop {
+	id, err := jid.Parse(eventID)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.events[id]
+	if e == nil {
+		return nil
+	}
+	out := make([]Hop, len(e.hops))
+	copy(out, e.hops)
+	return out
+}
+
+// EventSummary describes one retained traced event.
+type EventSummary struct {
+	EventID string `json:"event_id"`
+	Hops    int    `json:"hops"`
+	FirstUS int64  `json:"first_us"` // earliest hop timestamp
+}
+
+// Events lists retained events, oldest first.
+func (s *Store) Events() []EventSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EventSummary, 0, len(s.order))
+	for _, id := range s.order {
+		e := s.events[id]
+		if e == nil || len(e.hops) == 0 {
+			continue
+		}
+		first := e.hops[0].AtUS
+		for _, h := range e.hops {
+			if h.AtUS < first {
+				first = h.AtUS
+			}
+		}
+		out = append(out, EventSummary{EventID: id.String(), Hops: len(e.hops), FirstUS: first})
+	}
+	return out
+}
+
+// Len returns the number of retained traced events.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Trace is an assembled cross-peer view of one event's journey.
+type Trace struct {
+	EventID string `json:"event_id"`
+	SentUS  int64  `json:"sent_us,omitempty"`
+	Hops    []Hop  `json:"hops"`
+}
+
+// stageRank orders stages within one event at equal timestamps.
+func stageRank(stage string) int {
+	switch stage {
+	case StagePublish:
+		return 0
+	case StageForward:
+		return 1
+	case StageDeliver:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Assemble merges hop records gathered from any number of peers into
+// one ordered trace: sorted by recording timestamp (stage order breaks
+// ties, tolerating clock skew between peers), with duplicate
+// (peer, stage) records collapsed to the earliest — an engine with
+// several attachments records the same injection more than once, and a
+// replayed frame can re-record delivery.
+func Assemble(eventID string, hops []Hop) Trace {
+	tr := Trace{EventID: eventID}
+	seen := make(map[string]int) // peer+stage → index in tr.Hops
+	for _, h := range hops {
+		if h.EventID != "" && h.EventID != eventID {
+			continue
+		}
+		if h.SentUS != 0 && (tr.SentUS == 0 || h.SentUS < tr.SentUS) {
+			tr.SentUS = h.SentUS
+		}
+		key := h.Peer + "\x00" + h.Stage
+		if i, dup := seen[key]; dup {
+			if h.AtUS < tr.Hops[i].AtUS {
+				tr.Hops[i] = h
+			}
+			continue
+		}
+		seen[key] = len(tr.Hops)
+		tr.Hops = append(tr.Hops, h)
+	}
+	sort.SliceStable(tr.Hops, func(i, j int) bool {
+		a, b := tr.Hops[i], tr.Hops[j]
+		// Publish sorts first regardless of skewed clocks; the rest
+		// order by timestamp with stage rank breaking exact ties.
+		if ap, bp := a.Stage == StagePublish, b.Stage == StagePublish; ap != bp {
+			return ap
+		}
+		if a.AtUS != b.AtUS {
+			return a.AtUS < b.AtUS
+		}
+		return stageRank(a.Stage) < stageRank(b.Stage)
+	})
+	return tr
+}

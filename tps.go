@@ -63,6 +63,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/transport/tcpnet"
 	"github.com/tps-p2p/tps/internal/obs"
 	"github.com/tps-p2p/tps/internal/obs/admin"
+	"github.com/tps-p2p/tps/internal/obs/trace"
 )
 
 // Transport is a pluggable network transport. The TCP transport is
@@ -119,8 +120,9 @@ type Config struct {
 	LeaseTTL time.Duration
 	// AdminAddr, when non-empty (e.g. "127.0.0.1:7700" or
 	// "127.0.0.1:0"), serves the embedded HTTP/JSON-RPC admin surface on
-	// that address: GET /stats, /peers, /subscriptions, /health and POST
-	// /rpc (see OBSERVABILITY.md). Off by default. The server carries no
+	// that address: GET /stats, /metrics (Prometheus text exposition),
+	// /peers, /subscriptions, /health, /trace and POST /rpc (see
+	// OBSERVABILITY.md). Off by default. The server carries no
 	// authentication — bind loopback unless the network is trusted.
 	AdminAddr string
 	// LogDir, when non-empty, opens a durable per-topic event log in
@@ -136,6 +138,20 @@ type Config struct {
 	// LogSync selects the log fsync policy: "" or "none" (OS decides),
 	// "roll" (fsync sealed segments), "always" (fsync every append).
 	LogSync string
+	// TraceRate samples events for end-to-end hop tracing: each event
+	// whose ID hashes under the rate gets a trace element stamped at
+	// publish and a hop recorded at every peer it crosses (publish,
+	// rendezvous forward, delivery). The decision is a deterministic
+	// function of the event ID, so every peer traces the same events
+	// without coordination. 0 (the default) disables tracing and leaves
+	// the publish hot path byte-identical; 1 traces everything. Traced
+	// hops are served on the admin endpoint under /trace.
+	TraceRate float64
+	// AdminProfiling mounts net/http/pprof on the admin mux (GET
+	// /debug/pprof/...). Off by default: profiles expose memory contents
+	// and cost CPU to capture — enable only on loopback-bound admin
+	// addresses or trusted networks.
+	AdminProfiling bool
 }
 
 // LogRetention bounds the durable event log per topic.
@@ -179,6 +195,11 @@ type Platform struct {
 	admin  *admin.Server
 	tcp    *tcpnet.Transport
 	log    *eventlog.Log
+
+	// Tracing: the peer-local hop store every subsystem records sampled
+	// events into, and the sampling rate engines inherit.
+	tracer *trace.Store
+	trate  float64
 
 	// engMu guards the live core engines, tracked so Stats and Inspect
 	// cover engines created at any time.
@@ -237,6 +258,7 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 			return nil, psErr("platform", err)
 		}
 	}
+	tracer := trace.NewStore(trace.DefaultMaxEvents)
 	p, err := peer.New(peer.Config{
 		Name:       cfg.Name,
 		Role:       role,
@@ -244,6 +266,7 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		LeaseTTL:   cfg.LeaseTTL,
 		Firewalled: cfg.Firewalled,
 		Log:        elog,
+		Tracer:     tracer,
 	}, transports...)
 	if err != nil {
 		if elog != nil {
@@ -261,6 +284,8 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 		obsreg: obs.NewRegistry(),
 		tcp:    tcp,
 		log:    elog,
+		tracer: tracer,
+		trate:  cfg.TraceRate,
 	}
 	if cfg.Rendezvous {
 		d, err := p.EnableDaemon()
@@ -273,10 +298,12 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 	pl.registerProviders()
 	if cfg.AdminAddr != "" {
 		srv, err := admin.New(admin.Config{
-			Addr:     cfg.AdminAddr,
-			Registry: pl.obsreg,
-			Inspect:  pl.Inspect,
-			Health:   pl.health,
+			Addr:      cfg.AdminAddr,
+			Registry:  pl.obsreg,
+			Inspect:   pl.Inspect,
+			Health:    pl.health,
+			Trace:     pl.tracer,
+			Profiling: cfg.AdminProfiling,
 		})
 		if err != nil {
 			pl.Close()
