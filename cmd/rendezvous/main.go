@@ -13,6 +13,17 @@
 //
 //	go run ./cmd/rendezvous -listen 0.0.0.0:9702 -seed tcp://host-a:9701   # mesh
 //
+// A replica set — rendezvous that anti-entropy-sync their durable event
+// logs so any one of them can serve the others' retained history after
+// a crash — is formed by pointing replicas at each other (they must
+// all run with -log-dir):
+//
+//	go run ./cmd/rendezvous -listen :9701 -log-dir /var/tps/a -replica tcp://host-b:9702
+//	go run ./cmd/rendezvous -listen :9702 -log-dir /var/tps/b -replica tcp://host-a:9701
+//
+// Clients list both replicas as seeds with failover enabled and elect
+// one active; inspect sync state with `tpsctl replicas`.
+//
 // The admin server carries no authentication: keep it on loopback (the
 // default) unless the network is trusted. -admin "" disables it.
 package main
@@ -24,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	tps "github.com/tps-p2p/tps"
 	"github.com/tps-p2p/tps/internal/obs/admin"
@@ -36,28 +48,39 @@ func main() {
 		name      = flag.String("name", "rendezvous", "peer name")
 		adminAddr = flag.String("admin", fmt.Sprintf("127.0.0.1:%d", admin.DefaultPort),
 			"HTTP admin address serving /stats, /peers, /health (empty disables)")
-		logDir  = flag.String("log-dir", "", "directory for the durable event log (empty disables durability)")
-		logSync = flag.String("log-sync", "", `event log fsync policy: "none", "roll" or "always"`)
+		logDir   = flag.String("log-dir", "", "directory for the durable event log (empty disables durability)")
+		logSync  = flag.String("log-sync", "", `event log fsync policy: "none", "roll" or "always"`)
+		replicas = flag.String("replica", "", "comma-separated addresses of the other replica-set members to anti-entropy-sync the event log with (requires -log-dir)")
+		syncInt  = flag.Duration("sync-interval", 0, "anti-entropy digest cadence for -replica (0 = default 5s)")
 	)
 	flag.Parse()
-	if err := run(*listen, *seeds, *name, *adminAddr, *logDir, *logSync); err != nil {
+	if err := run(*listen, *seeds, *name, *adminAddr, *logDir, *logSync, *replicas, *syncInt); err != nil {
 		log.Println(err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, seeds, name, adminAddr, logDir, logSync string) error {
+func run(listen, seeds, name, adminAddr, logDir, logSync, replicas string, syncInt time.Duration) error {
 	cfg := tps.Config{
-		Name:       name,
-		ListenTCP:  listen,
-		Rendezvous: true,
-		AdminAddr:  adminAddr,
-		LogDir:     logDir,
-		LogSync:    logSync,
+		Name:                name,
+		ListenTCP:           listen,
+		Rendezvous:          true,
+		AdminAddr:           adminAddr,
+		LogDir:              logDir,
+		LogSync:             logSync,
+		ReplicaSyncInterval: syncInt,
 	}
 	if seeds != "" {
 		for _, s := range strings.Split(seeds, ",") {
 			cfg.Seeds = append(cfg.Seeds, strings.TrimSpace(s))
+		}
+	}
+	if replicas != "" {
+		if logDir == "" {
+			return fmt.Errorf("-replica requires -log-dir: replication syncs the durable event log")
+		}
+		for _, s := range strings.Split(replicas, ",") {
+			cfg.ReplicaSeeds = append(cfg.ReplicaSeeds, strings.TrimSpace(s))
 		}
 	}
 	p, err := tps.NewPlatform(cfg)
@@ -67,6 +90,9 @@ func run(listen, seeds, name, adminAddr, logDir, logSync string) error {
 	defer p.Close()
 	fmt.Printf("rendezvous %s up on %v (peers seed with tcp://<this-host>:%s)\n",
 		p.PeerID(), p.Addresses(), hostPort(listen))
+	if len(cfg.ReplicaSeeds) > 0 {
+		fmt.Printf("replica set: syncing event log with %v\n", cfg.ReplicaSeeds)
+	}
 	if addr := p.AdminAddr(); addr != "" {
 		fmt.Printf("admin endpoint on http://%s (/stats /peers /subscriptions /health /rpc)\n", addr)
 	}

@@ -19,7 +19,9 @@
 //	tpsctl peers -admin 127.0.0.1:7700              # leases, seeds, health
 //	tpsctl subs  -admin 127.0.0.1:7700              # subscriptions and types
 //	tpsctl log   -admin 127.0.0.1:7700              # durable event log: retained ranges, cursor lag
+//	tpsctl replicas -admin 127.0.0.1:7700           # replica set: membership, per-topic digest lag, last sync
 //	tpsctl watch -admin 127.0.0.1:7700 -interval 2s # poll /stats, print deltas + per-interval p99
+//	                                                # (failovers are called out explicitly)
 //	tpsctl latency -admin 127.0.0.1:7700            # per-stage latency histograms: p50/p90/p99
 //	tpsctl trace -admin 127.0.0.1:7700              # list traced events on the peer
 //	tpsctl trace -admin a:7700,b:7700 <event-id>    # merge hop records from several peers
@@ -62,13 +64,13 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr,
-			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | log | watch | latency | trace [event-id]")
+			"usage: tpsctl [flags] discover | peerinfo <addr> | listen <type> | stats | peers | subs | log | replicas | watch | latency | trace [event-id]")
 		os.Exit(2)
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
-	case "stats", "peers", "subs", "log", "watch", "latency", "trace":
+	case "stats", "peers", "subs", "log", "replicas", "watch", "latency", "trace":
 		err = adminCommand(cmd, args, *seeds)
 	default:
 		err = run(cmd, args, *listen, *seeds, *name, *wait)
@@ -113,6 +115,8 @@ func adminCommand(cmd string, args []string, globalSeed string) error {
 		return showSubs(base)
 	case "log":
 		return showLog(base)
+	case "replicas":
+		return showReplicas(base)
 	case "watch":
 		return watchStats(base, *interval)
 	case "latency":
@@ -281,6 +285,50 @@ func showLog(base string) error {
 				lag = fmt.Sprintf("%d", l-c.Seq)
 			}
 			fmt.Printf("%-28s %-14s %-12d %s\n", short(c.Group), short(c.Origin), c.Seq, lag)
+		}
+	}
+	return nil
+}
+
+// showReplicas renders the rendezvous replica set: each configured
+// replica, when it last sent a digest, and the per-(origin, topic) lag
+// between the local log and the replica's advertised tail. A replica
+// that has never synced (or a peer with no replica set) is visible at a
+// glance.
+func showReplicas(base string) error {
+	var resp struct {
+		Result obs.Inspection `json:"result"`
+	}
+	if err := postRPC(base, "inspect", &resp); err != nil {
+		return err
+	}
+	reps := resp.Result.Replicas
+	if len(reps) == 0 {
+		fmt.Println("no replica set (rendezvous runs without -replica)")
+		return nil
+	}
+	for _, r := range reps {
+		sync := "never"
+		if r.LastSyncAgoMS >= 0 {
+			sync = fmt.Sprintf("%s ago", (time.Duration(r.LastSyncAgoMS) * time.Millisecond).Round(time.Millisecond))
+		}
+		id := r.ID
+		if id == "" {
+			id = "-"
+		}
+		fmt.Printf("replica %s  id=%s  last digest: %s\n", r.Addr, short(id), sync)
+		if len(r.Topics) == 0 {
+			fmt.Println("  (no topic digests yet)")
+			continue
+		}
+		fmt.Printf("  %-28s %-14s %-12s %-12s %s\n", "TOPIC", "ORIGIN", "LOCAL", "REMOTE", "LAG")
+		for _, t := range r.Topics {
+			lag := "-"
+			if t.RemoteLast > t.LocalLast {
+				lag = fmt.Sprintf("%d", t.RemoteLast-t.LocalLast)
+			}
+			fmt.Printf("  %-28s %-14s %-12d %-12d %s\n",
+				short(t.Topic), short(t.Origin), t.LocalLast, t.RemoteLast, lag)
 		}
 	}
 	return nil
@@ -468,6 +516,11 @@ func watchStats(base string, interval time.Duration) error {
 					lines = append(lines, fmt.Sprintf("%s p99=%s (n=%d)",
 						k, fmtUS(d.Quantile(0.99)), d.Count))
 				}
+			}
+			// A failover is an operator-grade event, not background
+			// counter noise: lead the line with it.
+			if d := cur["rendezvous.failovers"] - prev["rendezvous.failovers"]; d > 0 {
+				lines = append([]string{fmt.Sprintf("FAILOVER: rendezvous switched active seed ×%d", d)}, lines...)
 			}
 			if len(lines) == 0 {
 				lines = []string{"idle"}

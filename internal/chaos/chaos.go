@@ -53,6 +53,11 @@ type Config struct {
 	LogDir string
 	// LogRetention bounds those logs (zero fields take the defaults).
 	LogRetention eventlog.Retention
+	// SyncInterval is the anti-entropy digest cadence for replica-set
+	// rendezvous (AddReplicaRendezvous). Scenario tests run it at a few
+	// hundred milliseconds so convergence shows within a test timeout;
+	// zero takes the rendezvous default (5s).
+	SyncInterval time.Duration
 }
 
 // Defaults for zero Config fields.
@@ -112,21 +117,47 @@ func New(cfg Config) *Cluster {
 // AddRendezvous adds a rendezvous peer, optionally seeded with other
 // peers (by node name).
 func (c *Cluster) AddRendezvous(name string, seeds ...string) (*Peer, error) {
-	return c.add(name, rendezvous.RoleRendezvous, seeds, nil)
+	return c.add(name, rendezvous.RoleRendezvous, seeds, nil, nodeExtra{})
+}
+
+// AddReplicaRendezvous adds a rendezvous peer that anti-entropy-syncs
+// its event log against the named replica-set members. Requires a
+// cluster LogDir: replication is of the durable log. The replicas are
+// deliberately NOT mesh-seeded with each other — the sync protocol is
+// the only channel between them, so a scenario that converges proves
+// the protocol converged, not that propagation leaked across.
+func (c *Cluster) AddReplicaRendezvous(name string, replicas []string, seeds ...string) (*Peer, error) {
+	if c.cfg.LogDir == "" {
+		return nil, fmt.Errorf("chaos: AddReplicaRendezvous(%s) needs Config.LogDir (replication syncs the durable log)", name)
+	}
+	return c.add(name, rendezvous.RoleRendezvous, seeds, nil, nodeExtra{replicas: replicas})
 }
 
 // AddEdge adds an edge peer leasing into the given seeds (by node name).
 func (c *Cluster) AddEdge(name string, seeds ...string) (*Peer, error) {
-	return c.add(name, rendezvous.RoleEdge, seeds, nil)
+	return c.add(name, rendezvous.RoleEdge, seeds, nil, nodeExtra{})
+}
+
+// AddFailoverEdge adds an edge peer in active/standby seed mode: it
+// leases into one seed at a time and rotates to a standby only after
+// the failure detector declares the active dead.
+func (c *Cluster) AddFailoverEdge(name string, seeds ...string) (*Peer, error) {
+	return c.add(name, rendezvous.RoleEdge, seeds, nil, nodeExtra{failover: true})
 }
 
 // AddSlowEdge adds an edge peer whose node needs perMsg processing time
 // for every delivery — a slow consumer that saturates under flood.
 func (c *Cluster) AddSlowEdge(name string, perMsg time.Duration, seeds ...string) (*Peer, error) {
-	return c.add(name, rendezvous.RoleEdge, seeds, []netsim.NodeOption{netsim.WithProcessing(perMsg, 0)})
+	return c.add(name, rendezvous.RoleEdge, seeds, []netsim.NodeOption{netsim.WithProcessing(perMsg, 0)}, nodeExtra{})
 }
 
-func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []netsim.NodeOption) (*Peer, error) {
+// nodeExtra carries the per-node knobs that only some Add helpers set.
+type nodeExtra struct {
+	replicas []string
+	failover bool
+}
+
+func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []netsim.NodeOption, extra nodeExtra) (*Peer, error) {
 	node, err := c.Net.AddNode(name, opts...)
 	if err != nil {
 		return nil, err
@@ -162,6 +193,10 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 	for i, s := range seeds {
 		addrs[i] = endpoint.MakeAddress("mem", s)
 	}
+	replicaAddrs := make([]endpoint.Address, len(extra.replicas))
+	for i, r := range extra.replicas {
+		replicaAddrs[i] = endpoint.MakeAddress("mem", r)
+	}
 	tracer := trace.NewStore(0)
 	rdv, err := rendezvous.New(ep, rendezvous.Config{
 		Role:          role,
@@ -173,6 +208,9 @@ func (c *Cluster) add(name string, role rendezvous.Role, seeds []string, opts []
 		EvictCooldown: c.cfg.EvictCooldown,
 		Log:           elog,
 		Tracer:        tracer,
+		ReplicaSeeds:  replicaAddrs,
+		SyncInterval:  c.cfg.SyncInterval,
+		ActiveStandby: extra.failover,
 	})
 	if err != nil {
 		if elog != nil {

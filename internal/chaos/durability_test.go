@@ -99,7 +99,7 @@ func TestLateJoinerCatchesUp(t *testing.T) {
 	if err := c.AwaitConnected(10*time.Second, "sub"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, 0); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, jid.Nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !sink.WaitCount(n, 10*time.Second) {
@@ -108,7 +108,7 @@ func TestLateJoinerCatchesUp(t *testing.T) {
 
 	// A second (redundant) request redelivers at the wire; the seen
 	// cache must absorb every duplicate.
-	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, 0); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, jid.Nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	c.Net.WaitQuiesce(5 * time.Second)
@@ -166,7 +166,7 @@ func TestReconnectResumesFromCursor(t *testing.T) {
 	if err := c.AwaitConnected(15*time.Second, "sub"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, cursor); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, jid.Nil, cursor); err != nil {
 		t.Fatal(err)
 	}
 	if !sink.WaitCount(live+missed, 10*time.Second) {
@@ -226,7 +226,7 @@ func TestRendezvousRestartRecoversLog(t *testing.T) {
 	if err := c.AwaitConnected(10*time.Second, "sub"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Rdv.RequestReplay(rdv2.EP.PeerID(), chaos.GroupParam, 0); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv2.EP.PeerID(), chaos.GroupParam, jid.Nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !sink.WaitCount(before+after, 10*time.Second) {
@@ -286,7 +286,7 @@ func TestTornTailRecoveryServesIntactPrefix(t *testing.T) {
 	if err := c.AwaitConnected(10*time.Second, "sub"); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Rdv.RequestReplay(rdv2.EP.PeerID(), chaos.GroupParam, 0); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv2.EP.PeerID(), chaos.GroupParam, jid.Nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !sink.WaitCount(n, 10*time.Second) {
@@ -341,7 +341,7 @@ func TestReplayConvergesOverLossyLink(t *testing.T) {
 			t.Fatalf("replay never converged over lossy link: %d/%d", sink.Count(), n)
 		}
 		cur := cursorFor(sink, rdv.EP.PeerID())
-		if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, cur); err != nil {
+		if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, jid.Nil, cur); err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(200 * time.Millisecond)
@@ -396,7 +396,7 @@ func TestCursorBehindRetentionSignalsGap(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cursor 1: everything from 2 up to first-1 is gone for good.
-	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, 1); err != nil {
+	if err := sub.Rdv.RequestReplay(rdv.EP.PeerID(), chaos.GroupParam, jid.Nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	select {

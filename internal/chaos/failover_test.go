@@ -1,0 +1,367 @@
+package chaos_test
+
+// failover_test.go is the executable form of ROBUSTNESS.md's
+// "Replication" section: a replica set of rendezvous anti-entropy-syncs
+// the durable event log, and active/standby clients fail over to a
+// standby when the failure detector declares the active dead. The
+// scenarios pin the acceptance criteria down: killing the primary
+// mid-stream loses and duplicates nothing, logs converge byte-for-byte
+// after a partition heals, a lagging replica serves a stale suffix
+// silently (no false gap), and only losing every replica of a range
+// surfaces a replay gap.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/chaos"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous/replica"
+)
+
+// awaitCopyTail polls a replica's log until its copy of origin's topic
+// retains sequence want — anti-entropy is asynchronous, so scenarios
+// that depend on replicated state must wait for it explicitly.
+func awaitCopyTail(t *testing.T, p *chaos.Peer, origin jid.ID, want uint64) {
+	t.Helper()
+	key := replica.TopicKey(origin, chaos.GroupParam)
+	waitFor(t, 15*time.Second, fmt.Sprintf("copy of %s tail %d on %s", origin, want, p.Name), func() bool {
+		_, last, ok := p.Log.Range(key)
+		return ok && last >= want
+	})
+}
+
+// awaitFailover waits until the peer both counted a failover and holds
+// a live lease again. AwaitConnected alone is not enough: right after a
+// kill the old lease has not expired yet, so "connected" can still mean
+// "leased at the corpse".
+func awaitFailover(t *testing.T, p *chaos.Peer) {
+	t.Helper()
+	waitFor(t, 30*time.Second, fmt.Sprintf("%s fails over", p.Name), func() bool {
+		return p.Rdv.Snapshot().Counters["failovers"] >= 1 && p.Rdv.AwaitConnected(0)
+	})
+}
+
+// topicDir finds the on-disk directory for a topic under one peer's log
+// root by reading the TOPIC marker files — directory names are
+// sanitized+hashed, so tests resolve them by content.
+func topicDir(t *testing.T, root, topic string) string {
+	t.Helper()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read log root %s: %v", root, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(root, e.Name(), "TOPIC"))
+		if err == nil && string(b) == topic {
+			return filepath.Join(root, e.Name())
+		}
+	}
+	t.Fatalf("no directory for topic %q under %s", topic, root)
+	return ""
+}
+
+// assertSegmentsIdentical compares the two directories' segment files
+// byte for byte: same file names, same contents. This is the strongest
+// convergence statement the replication protocol makes — a copy is the
+// origin's frames under the origin's numbering and timestamps, so the
+// files must be indistinguishable.
+func assertSegmentsIdentical(t *testing.T, dirA, dirB string) {
+	t.Helper()
+	segsA, err := filepath.Glob(filepath.Join(dirA, "*.seg"))
+	if err != nil || len(segsA) == 0 {
+		t.Fatalf("no segments in %s: %v", dirA, err)
+	}
+	segsB, err := filepath.Glob(filepath.Join(dirB, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsA) != len(segsB) {
+		t.Fatalf("segment counts differ: %d in %s, %d in %s", len(segsA), dirA, len(segsB), dirB)
+	}
+	for i := range segsA {
+		if filepath.Base(segsA[i]) != filepath.Base(segsB[i]) {
+			t.Fatalf("segment names diverge: %s vs %s", segsA[i], segsB[i])
+		}
+		a, err := os.ReadFile(segsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(segsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("segment %s differs between replicas (%d vs %d bytes)",
+				filepath.Base(segsA[i]), len(a), len(b))
+		}
+	}
+}
+
+// TestFailoverKillPrimaryMidStream runs the headline scenario: a
+// 2-replica set, a publisher and subscriber in active/standby mode,
+// the primary killed mid-stream. After the failure detector rotates
+// both clients to the standby, the stream continues and a replay of the
+// dead primary's stream from the standby's copy fills whatever the
+// subscriber missed — exactly-once observable end to end.
+func TestFailoverKillPrimaryMidStream(t *testing.T) {
+	c := chaos.New(chaos.Config{Seed: 31, LogDir: t.TempDir(), SyncInterval: 200 * time.Millisecond})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	pub := add(c.AddFailoverEdge("pub", "rdvA", "rdvB"))
+	sub := add(c.AddFailoverEdge("sub", "rdvA", "rdvB"))
+	sink, err := sub.Subscribe(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitConnected(10*time.Second, "pub", "sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	// First half of the stream through the primary. Wait only for the
+	// log and its replica copy — NOT for the sink — so the kill lands
+	// mid-stream from the subscriber's point of view whenever delivery
+	// lags replication.
+	const batch = 10
+	for i := 0; i < batch; i++ {
+		if err := pub.Publish(svc, fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	awaitLogTail(t, rdvA, batch)
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), batch)
+
+	c.Kill("rdvA")
+	awaitFailover(t, pub)
+	awaitFailover(t, sub)
+
+	// The stream continues through the standby (now origin rdvB)...
+	for i := batch; i < 2*batch; i++ {
+		if err := pub.Publish(svc, fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatalf("publish after failover %d: %v", i, err)
+		}
+	}
+	// ...and the dead primary's suffix is replayed from the standby's
+	// copy, from wherever the subscriber's cursor got to.
+	cur := cursorFor(sink, rdvA.EP.PeerID())
+	if err := sub.Rdv.RequestReplay(rdvB.EP.PeerID(), chaos.GroupParam, rdvA.EP.PeerID(), cur); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.WaitCount(2*batch, 20*time.Second) {
+		t.Fatalf("delivered %d/%d across the failover", sink.Count(), 2*batch)
+	}
+	c.Net.WaitQuiesce(5 * time.Second)
+	distinctBodies(t, sink, 2*batch)
+	if cur := cursorFor(sink, rdvA.EP.PeerID()); cur != batch {
+		t.Fatalf("origin-A cursor = %d, want %d", cur, batch)
+	}
+	if cur := cursorFor(sink, rdvB.EP.PeerID()); cur != batch {
+		t.Fatalf("origin-B cursor = %d, want %d", cur, batch)
+	}
+}
+
+// TestAntiEntropyConvergesAfterPartition partitions the two replicas
+// apart, streams into both sides, heals, and requires the replica
+// copies to converge to the byte-identical segment files of each
+// origin — the acceptance criterion for the sync protocol.
+func TestAntiEntropyConvergesAfterPartition(t *testing.T) {
+	dir := t.TempDir()
+	c := chaos.New(chaos.Config{Seed: 32, LogDir: dir, SyncInterval: 200 * time.Millisecond})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	pubA := add(c.AddEdge("pubA", "rdvA"))
+	pubB := add(c.AddEdge("pubB", "rdvB"))
+	if err := c.AwaitConnected(10*time.Second, "pubA", "pubB"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-partition traffic so both replicas carry copies already.
+	const pre = 3
+	for i := 0; i < pre; i++ {
+		if err := pubA.Publish(svc, fmt.Sprintf("a-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubB.Publish(svc, fmt.Sprintf("b-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), pre)
+	awaitCopyTail(t, rdvA, rdvB.EP.PeerID(), pre)
+
+	// Partition the replicas apart; both sides keep accepting events the
+	// other cannot see. The replicas are linked ONLY by anti-entropy, so
+	// healing proves the protocol converges, not mesh propagation.
+	c.Partition([]string{"rdvA", "pubA"}, []string{"rdvB", "pubB"})
+	const total = 15
+	for i := pre; i < total; i++ {
+		if err := pubA.Publish(svc, fmt.Sprintf("a-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubB.Publish(svc, fmt.Sprintf("b-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitLogTail(t, rdvA, total)
+	awaitLogTail(t, rdvB, total)
+	if _, last, _ := rdvB.Log.Range(replica.TopicKey(rdvA.EP.PeerID(), chaos.GroupParam)); last >= total {
+		t.Fatalf("copies crossed the partition: rdvB holds A@%d", last)
+	}
+
+	c.Heal()
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), total)
+	awaitCopyTail(t, rdvA, rdvB.EP.PeerID(), total)
+
+	// Byte-identical convergence, both directions.
+	assertSegmentsIdentical(t,
+		topicDir(t, filepath.Join(dir, "rdvA"), chaos.GroupParam),
+		topicDir(t, filepath.Join(dir, "rdvB"), replica.TopicKey(rdvA.EP.PeerID(), chaos.GroupParam)))
+	assertSegmentsIdentical(t,
+		topicDir(t, filepath.Join(dir, "rdvB"), chaos.GroupParam),
+		topicDir(t, filepath.Join(dir, "rdvA"), replica.TopicKey(rdvB.EP.PeerID(), chaos.GroupParam)))
+}
+
+// TestLaggingReplicaServesStaleSuffix replays against a replica whose
+// copy ends before the subscriber's cursor. The cursor proves those
+// entries were already delivered, so the replica must serve nothing and
+// signal nothing — a lagging standby is stale, not evidence of loss.
+func TestLaggingReplicaServesStaleSuffix(t *testing.T) {
+	// Sync effectively off: the lag is constructed directly so the
+	// scenario cannot race the anti-entropy ticker.
+	c := chaos.New(chaos.Config{Seed: 33, LogDir: t.TempDir(), SyncInterval: time.Hour})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	pub := add(c.AddEdge("pub", "rdvA"))
+	sub := add(c.AddEdge("sub", "rdvA", "rdvB"))
+	sink, err := sub.Subscribe(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gapCh := make(chan jid.ID, 1)
+	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, _, _ uint64) {
+		select {
+		case gapCh <- origin:
+		default:
+		}
+	})
+	if err := c.AwaitConnected(10*time.Second, "pub", "sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(svc, fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sink.WaitCount(n, 10*time.Second) {
+		t.Fatalf("live delivery got %d/%d", sink.Count(), n)
+	}
+	if cur := cursorFor(sink, rdvA.EP.PeerID()); cur != n {
+		t.Fatalf("cursor = %d, want %d", cur, n)
+	}
+
+	// rdvB's copy of A lags at half the stream (appended directly; the
+	// payload bytes never travel, only the range matters here).
+	key := replica.TopicKey(rdvA.EP.PeerID(), chaos.GroupParam)
+	for seq := uint64(1); seq <= n/2; seq++ {
+		if err := rdvB.Log.AppendExact(key, seq, time.Now().UnixMilli(), []byte("stale")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Cursor n against a copy ending at n/2: serve nothing, no gap.
+	if err := sub.Rdv.RequestReplay(rdvB.EP.PeerID(), chaos.GroupParam, rdvA.EP.PeerID(), n); err != nil {
+		t.Fatal(err)
+	}
+	c.Net.WaitQuiesce(5 * time.Second)
+	select {
+	case origin := <-gapCh:
+		t.Fatalf("lagging replica signalled a gap for origin %s", origin)
+	default:
+	}
+	distinctBodies(t, sink, n)
+}
+
+// TestDoubleKillSurfacesReplayGap loses every copy of a range: the
+// primary dies before anti-entropy ever ran, so the standby holds
+// nothing of the dead origin. Replaying the origin there must produce
+// an explicit unbounded gap for that origin — the signal the engine
+// turns into ReplayGapError — because silence would be indistinguishable
+// from "nothing to replay".
+func TestDoubleKillSurfacesReplayGap(t *testing.T) {
+	// Sync off: the standby must genuinely hold nothing of the primary.
+	c := chaos.New(chaos.Config{Seed: 34, LogDir: t.TempDir(), SyncInterval: time.Hour})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	pub := add(c.AddFailoverEdge("pub", "rdvA", "rdvB"))
+	sub := add(c.AddFailoverEdge("sub", "rdvA", "rdvB"))
+	sink, err := sub.Subscribe(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type gap struct {
+		origin      jid.ID
+		first, last uint64
+	}
+	gapCh := make(chan gap, 1)
+	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, first, last uint64) {
+		select {
+		case gapCh <- gap{origin, first, last}:
+		default:
+		}
+	})
+	if err := c.AwaitConnected(10*time.Second, "pub", "sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := pub.Publish(svc, fmt.Sprintf("m-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sink.WaitCount(n, 10*time.Second) {
+		t.Fatalf("live delivery got %d/%d", sink.Count(), n)
+	}
+
+	c.Kill("rdvA")
+	awaitFailover(t, sub)
+
+	// The subscriber resumes origin A at the standby — which retained
+	// nothing of A. The range is gone from every replica; that is the
+	// one case that must surface as a gap.
+	if err := sub.Rdv.RequestReplay(rdvB.EP.PeerID(), chaos.GroupParam, rdvA.EP.PeerID(), n); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-gapCh:
+		if g.origin != rdvA.EP.PeerID() {
+			t.Fatalf("gap origin = %s, want the dead primary %s", g.origin, rdvA.EP.PeerID())
+		}
+		if g.first != 0 || g.last != 0 {
+			t.Fatalf("gap bounds %d..%d, want 0..0 (nothing retained)", g.first, g.last)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("no gap signal after losing every replica of the range")
+	}
+	distinctBodies(t, sink, n)
+}

@@ -118,12 +118,17 @@ func (a *attachment) cursor(origin jid.ID) uint64 {
 	return 0
 }
 
-// syncReplay sends one replay request to every rendezvous the
-// attachment's group is newly connected to, presenting the cursor held
-// for that rendezvous (zero for a first contact — a late joiner asking
-// for the full retained suffix). A rendezvous that drops off the
-// connected set is forgotten, so the next reconnect re-requests from
-// the then-current cursor: the at-least-once retry loop.
+// syncReplay sends replay requests to every rendezvous the attachment's
+// group is newly connected to: one request per known log origin — the
+// rendezvous's own log (zero cursor on first contact: a late joiner
+// asking for the full retained suffix) plus every other origin a cursor
+// is held for. The extra origins are what make failover exactly-once
+// observable: after re-homing to a standby, the dead primary's cursor
+// is presented to the standby, which serves the missing suffix from its
+// replicated copy under the primary's own numbering. A rendezvous that
+// drops off the connected set is forgotten, so the next reconnect
+// re-requests from the then-current cursors: the at-least-once retry
+// loop.
 func (a *attachment) syncReplay(e *Engine) {
 	rdv := a.group.Rendezvous
 	if rdv == nil {
@@ -141,13 +146,25 @@ func (a *attachment) syncReplay(e *Engine) {
 		if a.requested[id] {
 			continue
 		}
-		var after uint64
-		if st := a.cursors[id]; st != nil {
-			after = st.seq
+		sent := false
+		request := func(origin jid.ID, after uint64) {
+			if err := rdv.RequestReplay(id, a.group.Param(), origin, after); err == nil {
+				sent = true
+				e.stats.replayRequests.Add(1)
+			}
 		}
-		if err := rdv.RequestReplay(id, a.group.Param(), after); err == nil {
+		var selfAfter uint64
+		if st := a.cursors[id]; st != nil {
+			selfAfter = st.seq
+		}
+		request(id, selfAfter)
+		for origin, st := range a.cursors {
+			if origin != id {
+				request(origin, st.seq)
+			}
+		}
+		if sent {
 			a.requested[id] = true
-			e.stats.replayRequests.Add(1)
 		}
 	}
 	for id := range a.requested {

@@ -111,6 +111,11 @@ type Config struct {
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("eventlog: closed")
 
+// ErrOutOfOrder is returned by AppendExact when the supplied sequence
+// number is not the topic's next: an anti-entropy import must apply a
+// pulled suffix contiguously or not at all.
+var ErrOutOfOrder = errors.New("eventlog: non-contiguous sequence")
+
 // Record layout: magic(1) seq(8) unix-ms(8) len(4) crc32c(4) payload.
 // The CRC covers the seq/time/len header fields and the payload, so a
 // bit flip anywhere in a record is detected.
@@ -145,7 +150,8 @@ type segment struct {
 	firstSeq uint64
 	lastSeq  uint64
 	size     int64
-	lastMS   int64 // append time of the newest record
+	lastMS   int64  // append time of the newest record
+	crc      uint32 // CRC-32C over the segment's raw bytes (valid prefix)
 }
 
 func (s *segment) entries() int64 { return int64(s.lastSeq-s.firstSeq) + 1 }
@@ -175,6 +181,38 @@ type Log struct {
 	truncated atomic.Int64 // records dropped by retention or corruption
 	recovered atomic.Int64 // records validated by the Open scan
 	tornTails atomic.Int64 // tail truncations performed by recovery
+	ioErrors  atomic.Int64 // append/fsync/open failures
+
+	// errMu guards lastErr, the sticky most-recent I/O failure cleared
+	// by the next successful append: the /health degraded-state source.
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// recordErr notes an append-path I/O failure: the counter feeds the
+// tps_eventlog_io_errors_total metric and the sticky error degrades
+// /health until a later append succeeds.
+func (l *Log) recordErr(err error) {
+	l.ioErrors.Add(1)
+	l.errMu.Lock()
+	l.lastErr = err
+	l.errMu.Unlock()
+}
+
+// clearErr marks the log healthy again after a successful append.
+func (l *Log) clearErr() {
+	l.errMu.Lock()
+	l.lastErr = nil
+	l.errMu.Unlock()
+}
+
+// Err returns the most recent append-path I/O failure, or nil while the
+// log is healthy. The error is sticky until a later append succeeds, so
+// a dying disk stays visible on /health between write attempts.
+func (l *Log) Err() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.lastErr
 }
 
 // Open creates (or recovers) the log rooted at cfg.Dir. Every topic
@@ -275,6 +313,7 @@ func (l *Log) recoverTopic(t *topicLog) error {
 			lastSeq:  sc.lastSeq,
 			size:     sc.goodSize,
 			lastMS:   sc.lastMS,
+			crc:      sc.crc,
 		})
 		l.recovered.Add(sc.count)
 		expected = sc.lastSeq + 1
@@ -292,8 +331,9 @@ type scanResult struct {
 	lastSeq  uint64
 	lastMS   int64
 	count    int64
-	goodSize int64 // bytes up to and including the last valid record
-	torn     bool  // file extends past goodSize with invalid data
+	goodSize int64  // bytes up to and including the last valid record
+	crc      uint32 // CRC-32C over the valid prefix bytes
+	torn     bool   // file extends past goodSize with invalid data
 }
 
 // scanSegment walks a segment file record by record, stopping at the
@@ -347,6 +387,8 @@ func scanSegment(path string) (scanResult, error) {
 		sc.lastMS = ms
 		sc.count++
 		sc.goodSize += headerSize + int64(n)
+		sc.crc = crc32.Update(sc.crc, crcTable, hdr[:])
+		sc.crc = crc32.Update(sc.crc, crcTable, payload)
 	}
 }
 
@@ -406,6 +448,9 @@ func (l *Log) getTopic(topic string, create bool) (*topicLog, error) {
 func (l *Log) Append(topic string, build func(seq uint64) ([]byte, error)) (uint64, error) {
 	t, err := l.getTopic(topic, true)
 	if err != nil {
+		if !errors.Is(err, ErrClosed) {
+			l.recordErr(err)
+		}
 		return 0, err
 	}
 	t.mu.Lock()
@@ -415,13 +460,66 @@ func (l *Log) Append(topic string, build func(seq uint64) ([]byte, error)) (uint
 	if err != nil {
 		return 0, err
 	}
-	if len(payload) > maxRecordBytes {
-		return 0, fmt.Errorf("eventlog: record of %d bytes exceeds limit", len(payload))
-	}
-	if err := l.ensureActiveLocked(t, int64(len(payload))); err != nil {
+	if err := l.appendRecordLocked(t, seq, l.now().UnixMilli(), payload); err != nil {
 		return 0, err
 	}
-	nowMS := l.now().UnixMilli()
+	return seq, nil
+}
+
+// AppendExact stores payload under a caller-chosen sequence number and
+// timestamp. This is the anti-entropy import path: a replica pulling a
+// suffix of another peer's log must store records byte-identically —
+// same sequence, same timestamp, same payload yield the same record
+// bytes and (with matching retention config) the same segment files, so
+// segment checksums verify convergence. The first record of an empty
+// topic may start at any sequence (the source's retention may have
+// trimmed the head, exactly like recovery accepting a trimmed log);
+// afterwards seq must be exactly the topic's next sequence, or
+// ErrOutOfOrder is returned without writing.
+func (l *Log) AppendExact(topic string, seq uint64, timeMS int64, payload []byte) error {
+	if seq == 0 {
+		return fmt.Errorf("%w: sequence numbers start at 1", ErrOutOfOrder)
+	}
+	t, err := l.getTopic(topic, true)
+	if err != nil {
+		if !errors.Is(err, ErrClosed) {
+			l.recordErr(err)
+		}
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nextSeq == 1 && !t.hasEntriesLocked() {
+		t.nextSeq = seq
+	}
+	if seq != t.nextSeq {
+		return fmt.Errorf("%w: got seq %d, next is %d", ErrOutOfOrder, seq, t.nextSeq)
+	}
+	return l.appendRecordLocked(t, seq, timeMS, payload)
+}
+
+// hasEntriesLocked reports whether any retained segment holds a record.
+func (t *topicLog) hasEntriesLocked() bool {
+	for _, seg := range t.segs {
+		if seg.firstSeq != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// appendRecordLocked encodes and writes one record with the given
+// coordinates, rolling/retaining segments as needed and keeping the
+// active segment's running CRC current. I/O failures are recorded for
+// the health surface; success clears the degraded state.
+func (l *Log) appendRecordLocked(t *topicLog, seq uint64, timeMS int64, payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("eventlog: record of %d bytes exceeds limit", len(payload))
+	}
+	if err := l.ensureActiveLocked(t, int64(len(payload)), seq); err != nil {
+		l.recordErr(err)
+		return err
+	}
 	need := headerSize + len(payload)
 	if cap(t.scratch) < need {
 		t.scratch = make([]byte, need)
@@ -429,17 +527,21 @@ func (l *Log) Append(topic string, build func(seq uint64) ([]byte, error)) (uint
 	rec := t.scratch[:need]
 	rec[0] = recMagic
 	binary.BigEndian.PutUint64(rec[1:9], seq)
-	binary.BigEndian.PutUint64(rec[9:17], uint64(nowMS))
+	binary.BigEndian.PutUint64(rec[9:17], uint64(timeMS))
 	binary.BigEndian.PutUint32(rec[17:21], uint32(len(payload)))
 	sum := crc32.Checksum(rec[1:21], crcTable)
 	binary.BigEndian.PutUint32(rec[21:25], crc32.Update(sum, crcTable, payload))
 	copy(rec[headerSize:], payload)
 	if _, err := t.active.Write(rec); err != nil {
-		return 0, fmt.Errorf("eventlog: append %s: %w", topic, err)
+		err = fmt.Errorf("eventlog: append %s: %w", t.topic, err)
+		l.recordErr(err)
+		return err
 	}
 	if l.cfg.Sync == SyncAlways {
 		if err := t.active.Sync(); err != nil {
-			return 0, fmt.Errorf("eventlog: sync %s: %w", topic, err)
+			err = fmt.Errorf("eventlog: sync %s: %w", t.topic, err)
+			l.recordErr(err)
+			return err
 		}
 	}
 	seg := t.segs[len(t.segs)-1]
@@ -447,17 +549,21 @@ func (l *Log) Append(topic string, build func(seq uint64) ([]byte, error)) (uint
 		seg.firstSeq = seq
 	}
 	seg.lastSeq = seq
-	seg.lastMS = nowMS
+	seg.lastMS = timeMS
 	seg.size += int64(need)
+	seg.crc = crc32.Update(seg.crc, crcTable, rec)
 	t.nextSeq = seq + 1
 	l.appended.Add(1)
-	return seq, nil
+	l.clearErr()
+	return nil
 }
 
 // ensureActiveLocked makes sure the topic has an open active segment
 // with room for a payload of n bytes, sealing and rolling as needed,
-// then enforces retention over the sealed segments.
-func (l *Log) ensureActiveLocked(t *topicLog, n int64) error {
+// then enforces retention over the sealed segments. nextSeq names a
+// freshly started segment file (it is the sequence about to be written,
+// which AppendExact may have chosen).
+func (l *Log) ensureActiveLocked(t *topicLog, n int64, nextSeq uint64) error {
 	roll := t.active == nil
 	if !roll {
 		seg := t.segs[len(t.segs)-1]
@@ -487,7 +593,7 @@ func (l *Log) ensureActiveLocked(t *topicLog, n int64) error {
 		if reopen {
 			path = t.segs[len(t.segs)-1].path
 		} else {
-			path = filepath.Join(t.dir, fmt.Sprintf("%020d.seg", t.nextSeq))
+			path = filepath.Join(t.dir, fmt.Sprintf("%020d.seg", nextSeq))
 			t.segs = append(t.segs, &segment{path: path})
 		}
 		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -609,6 +715,38 @@ func (l *Log) Range(topic string) (first, last uint64, ok bool) {
 	return first, last, ok
 }
 
+// SegmentDigest summarises one on-disk segment for anti-entropy
+// verification: the sequence range it spans and the CRC-32C over its
+// raw bytes (the Castagnoli-checked records laid end to end). Two
+// replicas holding byte-identical copies of a log produce identical
+// digests; a matched range with a differing CRC is divergence.
+type SegmentDigest struct {
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+	CRC      uint32 `json:"crc"`
+}
+
+// SegmentDigests returns the topic's per-segment checksums, oldest
+// first. The active segment is included with its running CRC, so
+// replicas that are fully caught up verify the tail too. Nil when the
+// topic retains nothing.
+func (l *Log) SegmentDigests(topic string) []SegmentDigest {
+	t, err := l.getTopic(topic, false)
+	if err != nil || t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SegmentDigest
+	for _, seg := range t.segs {
+		if seg.firstSeq == 0 {
+			continue
+		}
+		out = append(out, SegmentDigest{FirstSeq: seg.firstSeq, LastSeq: seg.lastSeq, CRC: seg.crc})
+	}
+	return out
+}
+
 // Topics lists every topic with a log directory, sorted.
 func (l *Log) Topics() []string {
 	l.mu.Lock()
@@ -676,6 +814,7 @@ func (l *Log) Snapshot() obs.Snapshot {
 			"truncated":  l.truncated.Load(),
 			"recovered":  l.recovered.Load(),
 			"torn_tails": l.tornTails.Load(),
+			"io_errors":  l.ioErrors.Load(),
 		},
 		Gauges: map[string]float64{
 			"topics":   float64(n),

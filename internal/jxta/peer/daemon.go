@@ -36,12 +36,14 @@ func (p *Peer) EnableDaemon() (*Daemon, error) {
 	d := &Daemon{}
 	var err error
 	d.Rendezvous, err = rendezvous.New(p.ep, rendezvous.Config{
-		Role:       rendezvous.RoleRendezvous,
-		GroupParam: "", // wildcard: serve every group
-		Seeds:      p.cfg.Seeds,
-		LeaseTTL:   p.cfg.LeaseTTL,
-		Log:        p.cfg.Log,
-		Tracer:     p.cfg.Tracer,
+		Role:         rendezvous.RoleRendezvous,
+		GroupParam:   "", // wildcard: serve every group
+		Seeds:        p.cfg.Seeds,
+		LeaseTTL:     p.cfg.LeaseTTL,
+		Log:          p.cfg.Log,
+		Tracer:       p.cfg.Tracer,
+		ReplicaSeeds: p.cfg.ReplicaSeeds,
+		SyncInterval: p.cfg.SyncInterval,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peer daemon: %w", err)

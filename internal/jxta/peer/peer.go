@@ -55,6 +55,17 @@ type Config struct {
 	// the engines above) record sampled-event hops into; nil disables
 	// forward-hop recording on this peer.
 	Tracer *trace.Store
+	// ReplicaSeeds are the other members of this rendezvous daemon's
+	// replica set: with a Log present, the daemon's wildcard rendezvous
+	// anti-entropy-syncs its per-topic logs against them so any replica
+	// can serve the others' retained history after a crash.
+	ReplicaSeeds []endpoint.Address
+	// SyncInterval is the anti-entropy digest cadence (zero: the
+	// rendezvous default).
+	SyncInterval time.Duration
+	// Failover switches joined groups' rendezvous clients to
+	// active/standby seed handling (see peergroup.Config.Failover).
+	Failover bool
 }
 
 // Peer is a running JXTA peer.
@@ -163,6 +174,9 @@ func (p *Peer) JoinGroup(cfg peergroup.Config) (*peergroup.Group, error) {
 	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = p.cfg.Tracer
+	}
+	if !cfg.Failover {
+		cfg.Failover = p.cfg.Failover
 	}
 	if cfg.ID.IsZero() {
 		cfg.ID = jid.NetGroup

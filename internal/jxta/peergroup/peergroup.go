@@ -61,6 +61,12 @@ type Config struct {
 	// Tracer is the peer-local hop-trace store the group's rendezvous
 	// service records sampled-event forward hops into; nil disables it.
 	Tracer *trace.Store
+	// Failover switches the group's rendezvous client to active/standby
+	// seed handling: lease with exactly one seed (the elected active)
+	// and re-lease against the next standby when the failure detector
+	// declares it dead. Requires every client to list Seeds in the same
+	// order. Off by default — all seeds are leased with concurrently.
+	Failover bool
 }
 
 // Group is one peer's instance of a peer group: the full protocol stack
@@ -98,12 +104,13 @@ func New(ep *endpoint.Service, cfg Config) (*Group, error) {
 	teardown := func() { g.Close() }
 
 	g.Rendezvous, err = rendezvous.New(ep, rendezvous.Config{
-		Role:       cfg.Role,
-		GroupParam: param,
-		Seeds:      cfg.Seeds,
-		LeaseTTL:   cfg.LeaseTTL,
-		Log:        cfg.Log,
-		Tracer:     cfg.Tracer,
+		Role:          cfg.Role,
+		GroupParam:    param,
+		Seeds:         cfg.Seeds,
+		LeaseTTL:      cfg.LeaseTTL,
+		Log:           cfg.Log,
+		Tracer:        cfg.Tracer,
+		ActiveStandby: cfg.Failover,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peergroup %q: %w", cfg.Name, err)

@@ -23,6 +23,7 @@ import (
 	"github.com/tps-p2p/tps/internal/jxta/endpoint"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous/replica"
 	"github.com/tps-p2p/tps/internal/jxta/seen"
 	"github.com/tps-p2p/tps/internal/obs"
 	"github.com/tps-p2p/tps/internal/obs/trace"
@@ -131,6 +132,27 @@ type Config struct {
 	// publishing engine for sampled events). Untraced messages pay one
 	// allocation-free element probe; nil skips even that.
 	Tracer *trace.Store
+	// ReplicaSeeds are the addresses of the other rendezvous in this
+	// peer's replica set. A rendezvous-role service with a Log and
+	// replica seeds runs the anti-entropy sync loop (sync.go): it
+	// exchanges per-topic log digests with the replicas and pulls the
+	// suffixes it is missing, so any one replica can serve another's
+	// retained history after a crash. Replicas are not mesh-seeded with
+	// each other; anti-entropy is the only replication path.
+	ReplicaSeeds []endpoint.Address
+	// SyncInterval is the anti-entropy digest cadence. Zero means
+	// DefaultSyncInterval.
+	SyncInterval time.Duration
+	// ActiveStandby switches seed handling from "lease with every seed"
+	// to "lease with exactly one": the active, initially Seeds[0], with
+	// the rest as standbys. When the failure detector declares the
+	// active dead (eviction breaker open, or EvictAfter consecutive
+	// connect failures), the client re-leases against the next healthy
+	// standby on the seed backoff curve and the engine's cursor
+	// machinery replays the handover gap from the new replica. All
+	// clients of a replica set must list the seeds in the same order so
+	// they converge on the same active.
+	ActiveStandby bool
 }
 
 // DefaultLeaseTTL is the lease duration granted by rendezvous peers.
@@ -189,6 +211,12 @@ type rdvCounters struct {
 	replayServed   atomic.Int64 // log entries resent to requesters
 	replayGaps     atomic.Int64 // gap signals sent or received
 	logFailures    atomic.Int64 // event-log appends that errored
+	failovers      atomic.Int64 // active→standby re-elections (ActiveStandby)
+	syncDigests    atomic.Int64 // anti-entropy digests received
+	syncPulls      atomic.Int64 // pull requests served
+	syncRecords    atomic.Int64 // records sent while serving pulls
+	syncApplied    atomic.Int64 // pulled records applied to local copies
+	syncDivergence atomic.Int64 // aligned segment ranges with mismatched CRCs
 }
 
 type peerEntry struct {
@@ -240,11 +268,19 @@ type Service struct {
 	gapMu sync.Mutex
 	gapFn GapListener
 
+	// store views the event log as replicated (origin, topic) streams;
+	// set on every logging rendezvous so replay can serve copies, and
+	// fed by the sync loop when ReplicaSeeds are configured.
+	store     *replica.Store
+	replMu    sync.Mutex
+	replState map[endpoint.Address]*replicaPeer
+
 	mu      sync.Mutex
 	clients map[clientKey]peerEntry // connected to us (rendezvous role)
 	rdvs    map[jid.ID]peerEntry    // we are connected to them (granted leases)
 	health  map[endpoint.Address]*healthState
 	seeds   []seedState // parallel to cfg.Seeds
+	active  int         // index of the active seed (ActiveStandby mode)
 	conn    *sync.Cond  // signals rdvs-set and seed-failure changes
 	closed  bool
 
@@ -305,6 +341,10 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 		stop:         make(chan struct{}),
 	}
 	s.conn = sync.NewCond(&s.mu)
+	if cfg.Role == RoleRendezvous && cfg.Log != nil {
+		s.store = replica.NewStore(cfg.Log, ep.PeerID())
+		s.replState = make(map[endpoint.Address]*replicaPeer)
+	}
 	if err := ep.RegisterHandler(ServiceName, cfg.GroupParam, s.handle); err != nil {
 		return nil, fmt.Errorf("rendezvous: register handler: %w", err)
 	}
@@ -313,6 +353,10 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 	if len(cfg.Seeds) > 0 || cfg.Role == RoleRendezvous {
 		s.wg.Add(1)
 		go s.maintainLoop()
+	}
+	if s.store != nil && len(cfg.ReplicaSeeds) > 0 {
+		s.wg.Add(1)
+		go s.syncLoop()
 	}
 	return s, nil
 }
@@ -445,6 +489,12 @@ func (s *Service) Snapshot() obs.Snapshot {
 			"replay_served":   s.stats.replayServed.Load(),
 			"replay_gaps":     s.stats.replayGaps.Load(),
 			"log_failures":    s.stats.logFailures.Load(),
+			"failovers":       s.stats.failovers.Load(),
+			"sync_digests":    s.stats.syncDigests.Load(),
+			"sync_pulls":      s.stats.syncPulls.Load(),
+			"sync_records":    s.stats.syncRecords.Load(),
+			"sync_applied":    s.stats.syncApplied.Load(),
+			"sync_divergence": s.stats.syncDivergence.Load(),
 		},
 		Gauges: map[string]float64{
 			"leases":        float64(leases),
@@ -493,9 +543,21 @@ func (s *Service) PeersView() []obs.PeerEntry {
 	}
 	for i, addr := range s.cfg.Seeds {
 		pe := obs.PeerEntry{
-			Addr:  string(addr),
-			Kind:  obs.PeerSeed,
-			Fails: s.seeds[i].fails,
+			Addr:   string(addr),
+			Kind:   obs.PeerSeed,
+			Fails:  s.seeds[i].fails,
+			Active: s.cfg.ActiveStandby && i == s.active,
+		}
+		// Leased is the per-seed connection truth AwaitConnected cannot
+		// give: it reports whether a lease is currently held with THIS
+		// seed, so operators can see that e.g. the only logging
+		// rendezvous is down while some other seed keeps the peer
+		// nominally "connected".
+		for _, e := range s.rdvs {
+			if e.addr == addr {
+				pe.Leased = true
+				break
+			}
 		}
 		s.fillHealthLocked(&pe, addr, now)
 		out = append(out, pe)
@@ -539,6 +601,16 @@ func remainingMS(t, now time.Time) int64 {
 // timeout — once every configured seed has rejected at least
 // seedFailFastAfter consecutive connect attempts at the transport layer
 // (all seeds unreachable).
+//
+// Contract under mixed seed health: "connected" means AT LEAST ONE
+// lease, not one per seed. A peer whose only logging (replay-serving)
+// rendezvous is down while another seed answers still reports
+// connected, with replay silently unavailable until the logging seed
+// recovers. Callers that need a particular seed must check the
+// per-seed Leased flag in PeersView (surfaced through Inspect() and
+// the /peers admin endpoint) rather than infer it from this method. In
+// ActiveStandby mode only the elected active is ever leased with, so
+// exactly one seed entry shows Leased when healthy.
 func (s *Service) AwaitConnected(timeout time.Duration) bool {
 	deadline := s.now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
@@ -825,6 +897,12 @@ func (s *Service) handle(msg *message.Message, from endpoint.Address) {
 		s.handleReplay(msg, from)
 	case opGap:
 		s.handleGap(msg)
+	case opSyncDigest:
+		s.handleSyncDigest(msg, from)
+	case opSyncPull:
+		s.handleSyncPull(msg, from)
+	case opSyncRec:
+		s.handleSyncRec(msg, from)
 	}
 }
 
@@ -984,46 +1062,108 @@ func (s *Service) maintainLoop() {
 // configured seed that is neither behind an eviction breaker nor inside
 // its failure backoff window. Transport-level failures are counted and
 // push the seed's next attempt out on the retry curve, instead of
-// hammering a dead seed on every tick.
+// hammering a dead seed on every tick. In ActiveStandby mode only the
+// elected active seed is leased with; the rest stay cold standbys.
 func (s *Service) connectSeeds() {
-	for i, seed := range s.cfg.Seeds {
-		now := s.now()
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			return
-		}
-		if h := s.health[seed]; h != nil && now.Before(h.bannedUntil) {
-			s.mu.Unlock()
-			s.stats.breakerSkips.Add(1)
-			continue
-		}
-		if now.Before(s.seeds[i].next) {
-			s.mu.Unlock()
-			continue
-		}
-		s.mu.Unlock()
-
-		req := message.New(s.ep.PeerID())
-		req.AddString(elemNS, elemOp, opConnect)
-		if s.cfg.Role == RoleRendezvous {
-			req.AddString(elemNS, elemIsRdv, "true")
-		}
-		err := s.ep.Send(seed, ServiceName, s.cfg.GroupParam, req)
-		s.mu.Lock()
-		if err != nil {
-			s.stats.seedFailures.Add(1)
-			s.seeds[i].fails++
-			s.seeds[i].next = now.Add(s.seedPolicy.Backoff(s.seeds[i].fails))
-			// Wake AwaitConnected so its all-seeds-unreachable check
-			// runs as soon as the evidence is in.
-			s.conn.Broadcast()
-		} else {
-			s.seeds[i].fails = 0
-			s.seeds[i].next = time.Time{}
-		}
-		s.mu.Unlock()
+	if s.cfg.ActiveStandby && len(s.cfg.Seeds) > 0 {
+		s.connectActive()
+		return
 	}
+	for i := range s.cfg.Seeds {
+		s.connectSeed(i)
+	}
+}
+
+// connectActive is the failover state machine: renew the lease with the
+// current active seed, unless the failure detector has declared it dead
+// — then elect the next healthy standby (round-robin from the dead
+// active), clear its backoff so the re-lease is immediate, and renew
+// with it instead. Clients sharing a seed order walk the same sequence
+// of actives, so a replica set's clients converge on one primary.
+func (s *Service) connectActive() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	idx := s.active
+	if s.activeDeadLocked(idx) {
+		if next, ok := s.pickStandbyLocked(idx); ok {
+			s.active = next
+			s.seeds[next] = seedState{}
+			s.stats.failovers.Add(1)
+			idx = next
+		}
+	}
+	s.mu.Unlock()
+	s.connectSeed(idx)
+}
+
+// activeDeadLocked reports whether the failure detector has declared
+// seed i dead: its address breaker is open (the send-path suspect→
+// probe→evict sequence ran its course) or EvictAfter consecutive
+// connect attempts were rejected by the transport.
+func (s *Service) activeDeadLocked(i int) bool {
+	if h := s.health[s.cfg.Seeds[i]]; h != nil && s.now().Before(h.bannedUntil) {
+		return true
+	}
+	return s.seeds[i].fails >= s.evictAfter
+}
+
+// pickStandbyLocked chooses the next standby after a dead active,
+// skipping seeds that are themselves behind an open breaker.
+func (s *Service) pickStandbyLocked(from int) (int, bool) {
+	now := s.now()
+	for off := 1; off < len(s.cfg.Seeds); off++ {
+		j := (from + off) % len(s.cfg.Seeds)
+		if h := s.health[s.cfg.Seeds[j]]; h != nil && now.Before(h.bannedUntil) {
+			continue
+		}
+		return j, true
+	}
+	return 0, false
+}
+
+// connectSeed sends one connect/renewal to seed i unless its breaker is
+// open or its failure backoff window has not yet elapsed.
+func (s *Service) connectSeed(i int) {
+	seed := s.cfg.Seeds[i]
+	now := s.now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if h := s.health[seed]; h != nil && now.Before(h.bannedUntil) {
+		s.mu.Unlock()
+		s.stats.breakerSkips.Add(1)
+		return
+	}
+	if now.Before(s.seeds[i].next) {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	req := message.New(s.ep.PeerID())
+	req.AddString(elemNS, elemOp, opConnect)
+	if s.cfg.Role == RoleRendezvous {
+		req.AddString(elemNS, elemIsRdv, "true")
+	}
+	err := s.ep.Send(seed, ServiceName, s.cfg.GroupParam, req)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.seedFailures.Add(1)
+		s.seeds[i].fails++
+		s.seeds[i].next = now.Add(s.seedPolicy.Backoff(s.seeds[i].fails))
+		// Wake AwaitConnected so its all-seeds-unreachable check
+		// runs as soon as the evidence is in.
+		s.conn.Broadcast()
+	} else {
+		s.seeds[i].fails = 0
+		s.seeds[i].next = time.Time{}
+	}
+	s.mu.Unlock()
 }
 
 func (s *Service) expireLocked() {

@@ -81,17 +81,24 @@ func ReplayInfo(msg *message.Message) (origin jid.ID, seq uint64, ok bool) {
 }
 
 // RequestReplay asks the connected rendezvous target to resend the
-// retained entries of topic with sequence numbers after the cursor.
+// retained entries of topic that origin's log numbered after the
+// cursor. origin is usually the target itself; after a failover it is
+// the dead primary, and the target serves the request from its
+// replicated copy of that log — the cursor stays meaningful because
+// copies keep the origin's numbering. A zero origin means the target.
 // Replayed events arrive through the normal propagation path (and its
 // dedupe); a gap signal arrives through the GapListener. The request is
 // fire-and-forget: callers re-request on the next (re)connect cycle,
 // which is what makes delivery at-least-once over lossy links.
-func (s *Service) RequestReplay(target jid.ID, topic string, after uint64) error {
+func (s *Service) RequestReplay(target jid.ID, topic string, origin jid.ID, after uint64) error {
 	s.mu.Lock()
 	e, ok := s.rdvs[target]
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("rendezvous: no lease with %v", target)
+	}
+	if origin.IsZero() {
+		origin = target
 	}
 	req := message.New(s.ep.PeerID())
 	req.Grow(4)
@@ -99,9 +106,9 @@ func (s *Service) RequestReplay(target jid.ID, topic string, after uint64) error
 	req.AddString(elemNS, elemTopic, topic)
 	req.AddString(elemNS, elemCursor, strconv.FormatUint(after, 10))
 	// The cursor only means anything against the log that assigned it:
-	// name the origin so a different (restarted, re-homed) rendezvous
+	// name the origin so a server without that log (or a copy of it)
 	// falls back to a full replay instead of honouring a foreign cursor.
-	req.AddID(elemNS, elemLogSrc, target)
+	req.AddID(elemNS, elemLogSrc, origin)
 	s.stats.replayRequests.Add(1)
 	return s.ep.Send(e.addr, ServiceName, s.cfg.GroupParam, req)
 }
@@ -134,6 +141,16 @@ func (s *Service) appendToLog(msg *message.Message, topic string) {
 // are resent verbatim to the requester's address; they re-enter its
 // normal propagation handling, where the seen caches drop whatever was
 // already delivered live.
+//
+// The request names the origin whose log numbered the cursor. When
+// that is this peer, the own log serves it (the pre-replication path).
+// When it is another peer whose stream this replica holds a copy of,
+// the copy serves it — honouring the cursor, because copies keep the
+// origin's numbering — which is what makes failover exactly-once
+// observable. A replica-set member holding nothing of the named origin
+// declares the cursor's suffix unrecoverable with a gap; a plain
+// rendezvous (no replica set) keeps the old re-homing behaviour of a
+// full own-log replay with receive-side dedupe absorbing overlap.
 func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 	if s.cfg.Role != RoleRendezvous || s.log == nil {
 		return
@@ -143,32 +160,61 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 		return
 	}
 	cursor, _ := strconv.ParseUint(msg.Text(elemNS, elemCursor), 10, 64)
-	if origin, err := msg.GetID(elemNS, elemLogSrc); err != nil || origin != s.ep.PeerID() {
-		// The cursor counts another peer's log (the subscriber re-homed
-		// after its rendezvous died): our numbering is unrelated. Replay
-		// the full retained suffix; receive-side dedupe absorbs overlap.
-		cursor = 0
-	}
 	param := s.incomingParam(msg)
-	first, last, ok := s.log.Range(topic)
+	self := s.ep.PeerID()
+	origin, err := msg.GetID(elemNS, elemLogSrc)
+	if err != nil {
+		origin = self
+	}
+	key := topic
+	if origin != self {
+		switch {
+		case s.store != nil && s.store.Holds(origin, topic):
+			// Serve the replicated copy under the origin's numbering.
+			key = s.store.Key(origin, topic)
+		case len(s.cfg.ReplicaSeeds) > 0:
+			// We are in the origin's replica set but hold none of its
+			// stream: anti-entropy would have copied anything a replica
+			// retained, so the suffix past the cursor is gone for good.
+			// Say so instead of staying silent.
+			if cursor > 0 {
+				s.sendGap(from, param, topic, origin, 0, 0)
+			}
+			return
+		default:
+			// The cursor counts another peer's log (the subscriber
+			// re-homed after its rendezvous died) and we are no replica
+			// of it: our numbering is unrelated. Replay the full
+			// retained suffix; receive-side dedupe absorbs overlap.
+			origin, cursor = self, 0
+		}
+	}
+	first, last, ok := s.log.Range(key)
 	if !ok {
 		if cursor > 0 {
 			// The requester has history we do not: log restarted empty.
-			s.sendGap(from, param, topic, 0, 0)
+			s.sendGap(from, param, topic, origin, 0, 0)
 		}
 		return
 	}
 	if cursor > last {
-		// Cursor outruns our log: the numbering restarted (log state
-		// lost). Signal the discontinuity, then replay what we have.
-		s.sendGap(from, param, topic, first, last)
+		if origin != self {
+			// Our copy is merely behind the requester's cursor: those
+			// entries were already delivered to it (the cursor proves
+			// so), nothing is lost and anti-entropy may still catch us
+			// up. Serve nothing, signal nothing.
+			return
+		}
+		// Cursor outruns our own log: the numbering restarted (log
+		// state lost). Signal the discontinuity, then replay all.
+		s.sendGap(from, param, topic, origin, first, last)
 		cursor = 0
 	} else if cursor > 0 && cursor+1 < first {
 		// Retention dropped (cursor, first): explicit gap, not silence.
-		s.sendGap(from, param, topic, first, last)
+		s.sendGap(from, param, topic, origin, first, last)
 	}
 	served := 0
-	_ = s.log.Read(topic, cursor, 0, func(e eventlog.Entry) error {
+	_ = s.log.Read(key, cursor, 0, func(e eventlog.Entry) error {
 		if err := s.ep.SendFrame(from, e.Payload); err != nil {
 			s.stats.sendFailures.Add(1)
 			return err
@@ -179,22 +225,31 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 	s.stats.replayServed.Add(int64(served))
 }
 
-// sendGap tells a requester that its cursor predates what the log
-// retains, bounding what is still available.
-func (s *Service) sendGap(to endpoint.Address, param, topic string, first, last uint64) {
+// sendGap tells a requester that its cursor into origin's log predates
+// what is retained here, bounding what is still available.
+func (s *Service) sendGap(to endpoint.Address, param, topic string, origin jid.ID, first, last uint64) {
 	s.stats.replayGaps.Add(1)
 	m := message.New(s.ep.PeerID())
-	m.Grow(4)
+	m.Grow(5)
 	m.AddString(elemNS, elemOp, opGap)
 	m.AddString(elemNS, elemTopic, topic)
+	m.AddID(elemNS, elemLogSrc, origin)
 	m.AddString(elemNS, elemFirst, strconv.FormatUint(first, 10))
 	m.AddString(elemNS, elemLast, strconv.FormatUint(last, 10))
 	_ = s.ep.Send(to, ServiceName, param, m)
 }
 
-// handleGap dispatches a received gap signal to the listener.
+// handleGap dispatches a received gap signal to the listener. The gap
+// is attributed to the log origin it names — which, when a replica
+// answers for a dead primary, is the primary rather than the sender —
+// so cursor jumps land on the right origin. Signals from peers that
+// predate the origin stamp fall back to the sender.
 func (s *Service) handleGap(msg *message.Message) {
 	topic := msg.Text(elemNS, elemTopic)
+	origin, err := msg.GetID(elemNS, elemLogSrc)
+	if err != nil {
+		origin = msg.Src
+	}
 	first, _ := strconv.ParseUint(msg.Text(elemNS, elemFirst), 10, 64)
 	last, _ := strconv.ParseUint(msg.Text(elemNS, elemLast), 10, 64)
 	s.stats.replayGaps.Add(1)
@@ -202,6 +257,6 @@ func (s *Service) handleGap(msg *message.Message) {
 	fn := s.gapFn
 	s.gapMu.Unlock()
 	if fn != nil {
-		fn(msg.Src, topic, first, last)
+		fn(origin, topic, first, last)
 	}
 }

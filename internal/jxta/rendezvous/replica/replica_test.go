@@ -1,0 +1,258 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/eventlog"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+)
+
+func openLog(t *testing.T) *eventlog.Log {
+	t.Helper()
+	l, err := eventlog.Open(eventlog.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func TestTopicKeyRoundTrip(t *testing.T) {
+	origin := jid.FromSeed(jid.KindPeer, 42)
+	for _, topic := range []string{"news", "with|pipe", "r|tricky", ""} {
+		key := TopicKey(origin, topic)
+		got, gotTopic, ok := ParseKey(key)
+		if !ok {
+			t.Fatalf("ParseKey(%q): not a replica key", key)
+		}
+		if got != origin || gotTopic != topic {
+			t.Fatalf("ParseKey(%q) = (%v, %q), want (%v, %q)", key, got, gotTopic, origin, topic)
+		}
+	}
+}
+
+func TestParseKeyRejectsOwnTopics(t *testing.T) {
+	for _, key := range []string{"news", "r|", "r|not-a-urn|topic", ""} {
+		if _, _, ok := ParseKey(key); ok {
+			t.Fatalf("ParseKey(%q) accepted a non-replica key", key)
+		}
+	}
+}
+
+func TestDigestCodecRoundTrip(t *testing.T) {
+	ds := []TopicDigest{
+		{
+			Origin: jid.FromSeed(jid.KindPeer, 1),
+			Topic:  "alpha",
+			Last:   107,
+			Segments: []eventlog.SegmentDigest{
+				{FirstSeq: 1, LastSeq: 50, CRC: 0xdeadbeef},
+				{FirstSeq: 51, LastSeq: 107, CRC: 0x01},
+			},
+		},
+		{Origin: jid.FromSeed(jid.KindPeer, 2), Topic: "", Last: 0},
+	}
+	got, err := DecodeDigest(EncodeDigest(ds))
+	if err != nil {
+		t.Fatalf("DecodeDigest: %v", err)
+	}
+	if len(got) != len(ds) {
+		t.Fatalf("got %d digests, want %d", len(got), len(ds))
+	}
+	for i := range ds {
+		if got[i].Origin != ds[i].Origin || got[i].Topic != ds[i].Topic || got[i].Last != ds[i].Last {
+			t.Fatalf("digest %d = %+v, want %+v", i, got[i], ds[i])
+		}
+		if len(got[i].Segments) != len(ds[i].Segments) {
+			t.Fatalf("digest %d: %d segments, want %d", i, len(got[i].Segments), len(ds[i].Segments))
+		}
+		for j := range ds[i].Segments {
+			if got[i].Segments[j] != ds[i].Segments[j] {
+				t.Fatalf("digest %d seg %d = %+v, want %+v", i, j, got[i].Segments[j], ds[i].Segments[j])
+			}
+		}
+	}
+}
+
+func TestDecodeDigestRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{99},         // bad version
+		{1, 0xff},    // truncated count varint
+		{1, 1},       // count says 1, no entry bytes
+		{1, 1, 0x03}, // bad kind byte, truncated wire ID
+	}
+	for _, b := range cases {
+		if _, err := DecodeDigest(b); err == nil {
+			t.Fatalf("DecodeDigest(%v) accepted garbage", b)
+		}
+	}
+	// Truncate a valid encoding at every length; none may panic, all
+	// must error.
+	full := EncodeDigest([]TopicDigest{{
+		Origin:   jid.FromSeed(jid.KindPeer, 7),
+		Topic:    "t",
+		Last:     3,
+		Segments: []eventlog.SegmentDigest{{FirstSeq: 1, LastSeq: 3, CRC: 5}},
+	}})
+	for n := range len(full) {
+		if _, err := DecodeDigest(full[:n]); err == nil {
+			t.Fatalf("DecodeDigest accepted truncation at %d/%d bytes", n, len(full))
+		}
+	}
+}
+
+func TestDiverged(t *testing.T) {
+	a := []eventlog.SegmentDigest{{FirstSeq: 1, LastSeq: 10, CRC: 1}, {FirstSeq: 11, LastSeq: 20, CRC: 2}}
+	same := []eventlog.SegmentDigest{{FirstSeq: 1, LastSeq: 10, CRC: 1}}
+	if Diverged(a, same) {
+		t.Fatal("matching overlap reported as diverged")
+	}
+	// Different ranges (e.g. one side compacted further) are not
+	// comparable, so not divergence.
+	shifted := []eventlog.SegmentDigest{{FirstSeq: 5, LastSeq: 20, CRC: 99}}
+	if Diverged(a, shifted) {
+		t.Fatal("non-aligned ranges reported as diverged")
+	}
+	bad := []eventlog.SegmentDigest{{FirstSeq: 11, LastSeq: 20, CRC: 3}}
+	if !Diverged(a, bad) {
+		t.Fatal("mismatched checksum on aligned range not reported")
+	}
+}
+
+func TestStoreApplyAndRead(t *testing.T) {
+	self := jid.FromSeed(jid.KindPeer, 1)
+	origin := jid.FromSeed(jid.KindPeer, 2)
+	st := NewStore(openLog(t), self)
+
+	now := time.Now().UnixMilli()
+	for seq := uint64(1); seq <= 3; seq++ {
+		applied, err := st.Apply(origin, "news", seq, now, []byte{byte(seq)})
+		if err != nil || !applied {
+			t.Fatalf("Apply(%d) = (%v, %v), want applied", seq, applied, err)
+		}
+	}
+	// Duplicate and gapped sequences are skipped without error.
+	if applied, err := st.Apply(origin, "news", 2, now, []byte{2}); err != nil || applied {
+		t.Fatalf("duplicate Apply = (%v, %v), want skip", applied, err)
+	}
+	if applied, err := st.Apply(origin, "news", 9, now, []byte{9}); err != nil || applied {
+		t.Fatalf("gapped Apply = (%v, %v), want skip", applied, err)
+	}
+	// Echoes of our own stream never touch the authoritative log.
+	if applied, err := st.Apply(self, "news", 1, now, []byte{1}); err != nil || applied {
+		t.Fatalf("self Apply = (%v, %v), want skip", applied, err)
+	}
+
+	if last := st.Last(origin, "news"); last != 3 {
+		t.Fatalf("Last = %d, want 3", last)
+	}
+	if !st.Holds(origin, "news") || st.Holds(origin, "other") {
+		t.Fatal("Holds wrong")
+	}
+
+	var seqs []uint64
+	err := st.Read(origin, "news", 1, 0, func(e eventlog.Entry) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	if err != nil || len(seqs) != 2 || seqs[0] != 2 || seqs[1] != 3 {
+		t.Fatalf("Read after 1 = %v (%v), want [2 3]", seqs, err)
+	}
+}
+
+func TestStoreApplyStartsAtRetentionHead(t *testing.T) {
+	// A fresh copy of a stream whose source already compacted its
+	// prefix starts at the source's retained head, not at 1.
+	st := NewStore(openLog(t), jid.FromSeed(jid.KindPeer, 1))
+	origin := jid.FromSeed(jid.KindPeer, 2)
+	if applied, err := st.Apply(origin, "news", 40, 0, []byte("x")); err != nil || !applied {
+		t.Fatalf("Apply(40) on empty copy = (%v, %v), want applied", applied, err)
+	}
+	if applied, err := st.Apply(origin, "news", 41, 0, []byte("y")); err != nil || !applied {
+		t.Fatalf("Apply(41) = (%v, %v), want applied", applied, err)
+	}
+	if first, last, ok := func() (uint64, uint64, bool) {
+		var f, l uint64
+		var any bool
+		_ = st.Read(origin, "news", 0, 0, func(e eventlog.Entry) error {
+			if !any {
+				f = e.Seq
+				any = true
+			}
+			l = e.Seq
+			return nil
+		})
+		return f, l, any
+	}(); !ok || first != 40 || last != 41 {
+		t.Fatalf("copy range = [%d,%d] ok=%v, want [40,41]", first, last, ok)
+	}
+}
+
+func TestStoreDigestCoversOwnAndCopies(t *testing.T) {
+	self := jid.FromSeed(jid.KindPeer, 1)
+	origin := jid.FromSeed(jid.KindPeer, 2)
+	log := openLog(t)
+	st := NewStore(log, self)
+
+	if _, err := log.Append("mine", func(uint64) ([]byte, error) { return []byte("a"), nil }); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if _, err := st.Apply(origin, "theirs", 1, 0, []byte("b")); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	ds := st.Digest()
+	if len(ds) != 2 {
+		t.Fatalf("Digest len = %d, want 2", len(ds))
+	}
+	byTopic := map[string]TopicDigest{}
+	for _, d := range ds {
+		byTopic[d.Topic] = d
+	}
+	if d := byTopic["mine"]; d.Origin != self || d.Last != 1 || len(d.Segments) == 0 {
+		t.Fatalf("own digest wrong: %+v", d)
+	}
+	if d := byTopic["theirs"]; d.Origin != origin || d.Last != 1 || len(d.Segments) == 0 {
+		t.Fatalf("copy digest wrong: %+v", d)
+	}
+}
+
+func TestConvergedCopiesShareChecksums(t *testing.T) {
+	// Pull A's records into B verbatim; the segment digests must match
+	// exactly — the byte-identical convergence property.
+	a := NewStore(openLog(t), jid.FromSeed(jid.KindPeer, 1))
+	b := NewStore(openLog(t), jid.FromSeed(jid.KindPeer, 2))
+	origin := jid.FromSeed(jid.KindPeer, 1)
+
+	logA := a.log
+	for i := range 20 {
+		if _, err := logA.Append("news", func(uint64) ([]byte, error) {
+			return []byte{byte(i)}, nil
+		}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	err := a.Read(origin, "news", 0, 0, func(e eventlog.Entry) error {
+		_, err := b.Apply(origin, "news", e.Seq, e.TimeMS, e.Payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+
+	da := a.log.SegmentDigests("news")
+	db := b.log.SegmentDigests(TopicKey(origin, "news"))
+	if len(da) == 0 || len(da) != len(db) {
+		t.Fatalf("segment digests differ in count: %d vs %d", len(da), len(db))
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("segment %d differs: %+v vs %+v", i, da[i], db[i])
+		}
+	}
+	if Diverged(da, db) {
+		t.Fatal("converged copies reported diverged")
+	}
+}

@@ -1,0 +1,322 @@
+package rendezvous
+
+// sync.go is the anti-entropy half of rendezvous replication. A
+// rendezvous started with ReplicaSeeds periodically sends each replica
+// a digest of every (origin, topic) log stream it holds — its own
+// topics plus the copies it maintains — and pulls the missing suffix of
+// any stream a replica is ahead on. Records transfer verbatim (origin's
+// sequence, timestamp and frame bytes), so converged copies are
+// byte-identical on disk and the per-segment CRCs in the digest prove
+// it; aligned sequence ranges whose checksums disagree are counted as
+// divergence instead of silently papered over.
+//
+// Replicas are deliberately NOT mesh-seeded with each other: all live
+// traffic flows through whichever replica the clients elected active,
+// and anti-entropy is the only replication path. That keeps the live
+// fan-out hot path untouched (replication off = zero cost) and makes
+// convergence reasoning trivial — one log owner numbers each stream,
+// everyone else copies.
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/tps-p2p/tps/internal/eventlog"
+	"github.com/tps-p2p/tps/internal/jxta/endpoint"
+	"github.com/tps-p2p/tps/internal/jxta/jid"
+	"github.com/tps-p2p/tps/internal/jxta/message"
+	"github.com/tps-p2p/tps/internal/jxta/rendezvous/replica"
+	"github.com/tps-p2p/tps/internal/obs"
+)
+
+// Sync operations, namespace "rdv".
+const (
+	opSyncDigest = "syncdig"
+	opSyncPull   = "syncpull"
+	opSyncRec    = "syncrec"
+)
+
+// Sync message element names, namespace "rdv". Pulls and records reuse
+// elemLogSrc (stream origin), elemTopic and elemCursor (pull-after)
+// from the replay protocol.
+const (
+	// elemDigest carries a replica.EncodeDigest blob.
+	elemDigest = "SyncDigest"
+	// elemTime carries a record's original append time, decimal ms.
+	elemTime = "TimeMS"
+	// elemFrame carries a record's stored propagation frame verbatim.
+	elemFrame = "Frame"
+)
+
+// DefaultSyncInterval is the anti-entropy digest cadence when
+// Config.SyncInterval is zero.
+const DefaultSyncInterval = 5 * time.Second
+
+// syncPullBatch caps records served per pull request. After a full
+// batch the server re-sends its digest to the requester, which pulls
+// again from its new tail — convergence without a "more" flag.
+const syncPullBatch = 512
+
+// replicaPeer is what we know about one replica: who answered last,
+// when, and the stream tails it advertised.
+type replicaPeer struct {
+	id       jid.ID
+	lastSync time.Time
+	remote   []replica.TopicDigest
+}
+
+// syncLoop drives the anti-entropy cadence.
+func (s *Service) syncLoop() {
+	defer s.wg.Done()
+	interval := s.cfg.SyncInterval
+	if interval <= 0 {
+		interval = DefaultSyncInterval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.sendDigests()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// sendDigests advertises this replica's stream tails to every replica
+// seed whose breaker is closed. Unreachable replicas feed the same
+// suspect/evict accounting as any other address.
+func (s *Service) sendDigests() {
+	enc := replica.EncodeDigest(s.store.Digest())
+	now := s.now()
+	for _, addr := range s.cfg.ReplicaSeeds {
+		s.mu.Lock()
+		closed := s.closed
+		banned := false
+		if h := s.health[addr]; h != nil && now.Before(h.bannedUntil) {
+			banned = true
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		if banned {
+			s.stats.breakerSkips.Add(1)
+			continue
+		}
+		s.sendDigestTo(addr, enc)
+	}
+}
+
+// sendDigestTo ships one encoded digest to one replica address.
+func (s *Service) sendDigestTo(addr endpoint.Address, enc []byte) {
+	m := message.New(s.ep.PeerID())
+	m.Grow(2)
+	m.AddString(elemNS, elemOp, opSyncDigest)
+	m.AddBytes(elemNS, elemDigest, enc)
+	if err := s.ep.Send(addr, ServiceName, s.cfg.GroupParam, m); err != nil {
+		s.stats.sendFailures.Add(1)
+		if s.noteFailure(addr) {
+			s.probe(addr)
+		}
+		return
+	}
+	s.noteSuccess(addr)
+}
+
+// handleSyncDigest compares a replica's advertised tails with our own
+// and pulls the suffix of every stream it is ahead on. Aligned segment
+// ranges with mismatched checksums bump the divergence counter — the
+// verifiable-digest property.
+func (s *Service) handleSyncDigest(msg *message.Message, from endpoint.Address) {
+	if s.store == nil {
+		return
+	}
+	ds, err := replica.DecodeDigest(msg.Bytes(elemNS, elemDigest))
+	if err != nil {
+		return
+	}
+	s.stats.syncDigests.Add(1)
+	s.replMu.Lock()
+	s.replState[from] = &replicaPeer{id: msg.Src, lastSync: s.now(), remote: ds}
+	s.replMu.Unlock()
+	self := s.ep.PeerID()
+	for _, d := range ds {
+		if replica.Diverged(s.log.SegmentDigests(s.store.Key(d.Origin, d.Topic)), d.Segments) {
+			s.stats.syncDivergence.Add(1)
+		}
+		if d.Origin == self {
+			continue // our own log is authoritative, never pulled
+		}
+		if local := s.store.Last(d.Origin, d.Topic); d.Last > local {
+			s.sendPull(from, d.Origin, d.Topic, local)
+		}
+	}
+}
+
+// sendPull asks the replica at addr for origin's records of topic with
+// sequence numbers after our contiguous tail.
+func (s *Service) sendPull(addr endpoint.Address, origin jid.ID, topic string, after uint64) {
+	m := message.New(s.ep.PeerID())
+	m.Grow(4)
+	m.AddString(elemNS, elemOp, opSyncPull)
+	m.AddID(elemNS, elemLogSrc, origin)
+	m.AddString(elemNS, elemTopic, topic)
+	m.AddString(elemNS, elemCursor, strconv.FormatUint(after, 10))
+	if err := s.ep.Send(addr, ServiceName, s.cfg.GroupParam, m); err != nil {
+		s.stats.sendFailures.Add(1)
+	}
+}
+
+// handleSyncPull serves one batch of a stream's records to a replica
+// that is behind. A full batch means there may be more: the server
+// follows up with a fresh digest so the requester pulls the rest.
+func (s *Service) handleSyncPull(msg *message.Message, from endpoint.Address) {
+	if s.store == nil {
+		return
+	}
+	origin, err := msg.GetID(elemNS, elemLogSrc)
+	if err != nil {
+		return
+	}
+	topic := msg.Text(elemNS, elemTopic)
+	if topic == "" {
+		return
+	}
+	after, _ := strconv.ParseUint(msg.Text(elemNS, elemCursor), 10, 64)
+	s.stats.syncPulls.Add(1)
+	served := 0
+	_ = s.store.Read(origin, topic, after, syncPullBatch, func(e eventlog.Entry) error {
+		rec := message.New(s.ep.PeerID())
+		rec.Grow(6)
+		rec.AddString(elemNS, elemOp, opSyncRec)
+		rec.AddID(elemNS, elemLogSrc, origin)
+		rec.AddString(elemNS, elemTopic, topic)
+		rec.AddBytes(elemNS, elemSeq, seqBytes(e.Seq))
+		rec.AddString(elemNS, elemTime, strconv.FormatInt(e.TimeMS, 10))
+		rec.AddBytes(elemNS, elemFrame, e.Payload)
+		if err := s.ep.Send(from, ServiceName, s.cfg.GroupParam, rec); err != nil {
+			s.stats.sendFailures.Add(1)
+			return err
+		}
+		served++
+		return nil
+	})
+	s.stats.syncRecords.Add(int64(served))
+	if served == syncPullBatch {
+		s.sendDigestTo(from, replica.EncodeDigest(s.store.Digest()))
+	}
+}
+
+// handleSyncRec applies one pulled record to the local copy of the
+// origin's stream and mirrors it live to any of our own leased clients
+// in that group — their seen caches drop anything already delivered.
+// Out-of-order arrivals are skipped (the next digest round re-pulls
+// from the contiguous tail), so application is exactly-once.
+func (s *Service) handleSyncRec(msg *message.Message, from endpoint.Address) {
+	if s.store == nil {
+		return
+	}
+	origin, err := msg.GetID(elemNS, elemLogSrc)
+	if err != nil {
+		return
+	}
+	topic := msg.Text(elemNS, elemTopic)
+	seq, ok := msg.Uint64(elemNS, elemSeq)
+	frame := msg.Bytes(elemNS, elemFrame)
+	if topic == "" || !ok || seq == 0 || len(frame) == 0 {
+		return
+	}
+	timeMS, _ := strconv.ParseInt(msg.Text(elemNS, elemTime), 10, 64)
+	applied, err := s.store.Apply(origin, topic, seq, timeMS, frame)
+	if err != nil {
+		s.stats.logFailures.Add(1)
+		return
+	}
+	if !applied {
+		return
+	}
+	s.stats.syncApplied.Add(1)
+	s.mirrorToClients(topic, frame)
+	_ = from
+}
+
+// mirrorToClients forwards a freshly replicated frame to this peer's
+// own leased clients in the stream's group. The frame is the origin's
+// stored fan-out frame, resent verbatim; receive-side dedupe absorbs
+// anything the client already saw live. This is what keeps a standby's
+// clients current while the primary is unreachable from them but not
+// from the replica set.
+func (s *Service) mirrorToClients(param string, frame []byte) {
+	s.mu.Lock()
+	s.expireLocked()
+	now := s.now()
+	addrs := make([]endpoint.Address, 0, len(s.clients))
+	for _, e := range s.clients {
+		if e.param != "" && param != "" && e.param != param {
+			continue
+		}
+		if h := s.health[e.addr]; h != nil && now.Before(h.bannedUntil) {
+			s.stats.breakerSkips.Add(1)
+			continue
+		}
+		addrs = append(addrs, e.addr)
+	}
+	s.mu.Unlock()
+	for _, addr := range addrs {
+		if err := s.ep.SendFrame(addr, frame); err != nil {
+			s.stats.sendFailures.Add(1)
+			_ = s.noteFailure(addr)
+		}
+	}
+}
+
+// seqBytes renders a sequence number in the 8-byte big-endian form the
+// elemSeq element always carries.
+func seqBytes(seq uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(seq)
+		seq >>= 8
+	}
+	return b
+}
+
+// ReplicasView reports the state of this peer's replica set for the
+// admin surface: one entry per configured replica with the time since
+// it last answered a digest and, per advertised stream, its tail next
+// to ours. LastSyncAgoMS is -1 for a replica that never synced.
+func (s *Service) ReplicasView() []obs.ReplicaEntry {
+	if len(s.cfg.ReplicaSeeds) == 0 {
+		return nil
+	}
+	now := s.now()
+	s.replMu.Lock()
+	out := make([]obs.ReplicaEntry, 0, len(s.cfg.ReplicaSeeds))
+	for _, addr := range s.cfg.ReplicaSeeds {
+		re := obs.ReplicaEntry{Addr: string(addr), LastSyncAgoMS: -1}
+		if st := s.replState[addr]; st != nil {
+			re.ID = st.id.String()
+			re.LastSyncAgoMS = now.Sub(st.lastSync).Milliseconds()
+			for _, d := range st.remote {
+				re.Topics = append(re.Topics, obs.ReplicaTopicLag{
+					Origin:     d.Origin.String(),
+					Topic:      d.Topic,
+					LocalLast:  s.store.Last(d.Origin, d.Topic),
+					RemoteLast: d.Last,
+				})
+			}
+			sort.Slice(re.Topics, func(i, j int) bool {
+				if re.Topics[i].Topic != re.Topics[j].Topic {
+					return re.Topics[i].Topic < re.Topics[j].Topic
+				}
+				return re.Topics[i].Origin < re.Topics[j].Origin
+			})
+		}
+		out = append(out, re)
+	}
+	s.replMu.Unlock()
+	return out
+}

@@ -36,6 +36,41 @@ type PeerEntry struct {
 	// BreakerOpenMS is the remaining eviction-breaker cooldown; 0 when
 	// the breaker is closed.
 	BreakerOpenMS int64 `json:"breaker_open_ms,omitempty"`
+	// Leased reports, for seed entries, whether a lease is currently
+	// held with this specific seed — AwaitConnected only promises SOME
+	// lease, so this is where mixed seed health becomes visible.
+	Leased bool `json:"leased,omitempty"`
+	// Active marks, in active/standby failover mode, the seed the peer
+	// currently elects as its primary rendezvous.
+	Active bool `json:"active,omitempty"`
+}
+
+// ReplicaTopicLag compares one replicated (origin, topic) log stream's
+// tail on this peer against a replica's advertised tail.
+type ReplicaTopicLag struct {
+	// Origin is the rendezvous whose log numbered the stream.
+	Origin string `json:"origin"`
+	// Topic is the stream's topic (group parameter).
+	Topic string `json:"topic"`
+	// LocalLast and RemoteLast are the highest contiguous sequences
+	// held here and advertised by the replica. RemoteLast > LocalLast
+	// means this peer is behind and will pull the difference.
+	LocalLast  uint64 `json:"local_last"`
+	RemoteLast uint64 `json:"remote_last"`
+}
+
+// ReplicaEntry describes one member of this rendezvous peer's replica
+// set and the anti-entropy state against it.
+type ReplicaEntry struct {
+	// Addr is the replica's configured address.
+	Addr string `json:"addr"`
+	// ID is the replica's URN, empty until it first syncs.
+	ID string `json:"id,omitempty"`
+	// LastSyncAgoMS is the time since the replica's last digest was
+	// received; -1 when it never synced.
+	LastSyncAgoMS int64 `json:"last_sync_ago_ms"`
+	// Topics compares per-stream tails, from the replica's last digest.
+	Topics []ReplicaTopicLag `json:"topics,omitempty"`
 }
 
 // SubscriptionEntry describes the live delivery state of one subscribed
@@ -104,4 +139,7 @@ type Inspection struct {
 	// Cursors lists the engines' replay cursors: the highest log
 	// sequence delivered per (group, origin rendezvous).
 	Cursors []CursorEntry `json:"cursors,omitempty"`
+	// Replicas lists the rendezvous replica set and per-stream sync
+	// lag; empty when the peer replicates nothing.
+	Replicas []ReplicaEntry `json:"replicas,omitempty"`
 }

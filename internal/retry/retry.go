@@ -11,6 +11,7 @@ package retry
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"time"
 )
@@ -111,10 +112,37 @@ func (p Policy) Wait(ctx context.Context, failures int) error {
 	}
 }
 
+// permanentError marks an error as not worth retrying. It unwraps to
+// the underlying error so callers' errors.Is/As checks see through the
+// marker.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops retrying and returns it immediately:
+// a rejected credential or a malformed request will not succeed on the
+// tenth attempt either. A nil err returns nil. errors.Is/As against the
+// wrapped error still work on Do's return value.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
 // Do calls fn up to attempts times, waiting p.Backoff between failures.
 // It returns nil on the first success, the context error if cancelled
-// mid-wait, and otherwise the last failure's error. attempts ≤ 0 runs fn
-// once.
+// mid-wait, and otherwise the last failure's error. An error wrapped
+// with Permanent short-circuits the loop: it is returned at once,
+// remaining attempts notwithstanding. attempts ≤ 0 runs fn once.
 func Do(ctx context.Context, p Policy, attempts int, fn func() error) error {
 	if attempts <= 0 {
 		attempts = 1
@@ -124,7 +152,7 @@ func Do(ctx context.Context, p Policy, attempts int, fn func() error) error {
 		if err = fn(); err == nil {
 			return nil
 		}
-		if i == attempts {
+		if IsPermanent(err) || i == attempts {
 			break
 		}
 		if werr := p.Wait(ctx, i); werr != nil {

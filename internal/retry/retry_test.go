@@ -3,6 +3,7 @@ package retry_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -92,5 +93,67 @@ func TestDoReturnsLastError(t *testing.T) {
 	err := retry.Do(context.Background(), p, 3, func() error { calls++; return boom })
 	if !errors.Is(err, boom) || calls != 3 {
 		t.Fatalf("Do err=%v calls=%d", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	p := retry.Policy{Initial: time.Millisecond, Max: time.Millisecond, Jitter: -1}
+	fatal := errors.New("bad credentials")
+	calls := 0
+	err := retry.Do(context.Background(), p, 10, func() error {
+		calls++
+		return retry.Permanent(fatal)
+	})
+	if calls != 1 {
+		t.Fatalf("Do retried a permanent error: calls=%d", calls)
+	}
+	// The marker must be transparent to callers matching the cause.
+	if !errors.Is(err, fatal) {
+		t.Fatalf("Do err=%v, want wrapped %v", err, fatal)
+	}
+	if !retry.IsPermanent(err) {
+		t.Fatalf("IsPermanent(%v) = false", err)
+	}
+}
+
+func TestPermanentNilAndDetection(t *testing.T) {
+	if retry.Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	if retry.IsPermanent(errors.New("transient")) {
+		t.Fatal("IsPermanent true for unmarked error")
+	}
+	// Permanent marks survive further wrapping by the caller.
+	wrapped := fmt.Errorf("connect: %w", retry.Permanent(errors.New("refused")))
+	if !retry.IsPermanent(wrapped) {
+		t.Fatal("IsPermanent lost through fmt.Errorf %w wrapping")
+	}
+}
+
+func TestDoCancelledMidWaitReturnsContextError(t *testing.T) {
+	// A long backoff between two failing attempts: cancel must interrupt
+	// the wait and surface ctx.Err(), not the attempt's error.
+	p := retry.Policy{Initial: 10 * time.Second, Max: 10 * time.Second, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- retry.Do(ctx, p, 5, func() error {
+			calls++
+			return errors.New("flaky")
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the first attempt fail and enter Wait
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do err=%v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (cancel hit during the first backoff)", calls)
 	}
 }

@@ -138,6 +138,23 @@ type Config struct {
 	// LogSync selects the log fsync policy: "" or "none" (OS decides),
 	// "roll" (fsync sealed segments), "always" (fsync every append).
 	LogSync string
+	// ReplicaSeeds are the addresses of the other rendezvous daemons in
+	// this peer's replica set. A Rendezvous peer with a LogDir and
+	// replica seeds anti-entropy-syncs its per-topic event logs against
+	// them — exchanging digests every ReplicaSyncInterval and pulling
+	// missing suffixes — so a topic's retained history survives the
+	// crash of any single replica. See ROBUSTNESS.md, Replication.
+	ReplicaSeeds []string
+	// ReplicaSyncInterval is the anti-entropy digest cadence (default
+	// 5s).
+	ReplicaSyncInterval time.Duration
+	// Failover switches this peer's rendezvous clients from "lease with
+	// every seed" to active/standby: lease with exactly one seed and
+	// re-lease against the next when the failure detector declares the
+	// active dead, replaying the handover gap from the new replica's
+	// copied logs. All clients of a replica set must list Seeds in the
+	// same order so they converge on the same active.
+	Failover bool
 	// TraceRate samples events for end-to-end hop tracing: each event
 	// whose ID hashes under the rate gets a trace element stamped at
 	// publish and a hop recorded at every peer it crosses (publish,
@@ -258,15 +275,22 @@ func NewPlatform(cfg Config, opts ...Option) (*Platform, error) {
 			return nil, psErr("platform", err)
 		}
 	}
+	replicaSeeds := make([]endpoint.Address, 0, len(cfg.ReplicaSeeds))
+	for _, s := range cfg.ReplicaSeeds {
+		replicaSeeds = append(replicaSeeds, endpoint.Address(s))
+	}
 	tracer := trace.NewStore(trace.DefaultMaxEvents)
 	p, err := peer.New(peer.Config{
-		Name:       cfg.Name,
-		Role:       role,
-		Seeds:      seeds,
-		LeaseTTL:   cfg.LeaseTTL,
-		Firewalled: cfg.Firewalled,
-		Log:        elog,
-		Tracer:     tracer,
+		Name:         cfg.Name,
+		Role:         role,
+		Seeds:        seeds,
+		LeaseTTL:     cfg.LeaseTTL,
+		Firewalled:   cfg.Firewalled,
+		Log:          elog,
+		Tracer:       tracer,
+		ReplicaSeeds: replicaSeeds,
+		SyncInterval: cfg.ReplicaSyncInterval,
+		Failover:     cfg.Failover,
 	}, transports...)
 	if err != nil {
 		if elog != nil {
@@ -498,6 +522,9 @@ func (p *Platform) Inspect() Inspection {
 	if p.log != nil {
 		in.EventLog = p.log.TopicsView()
 	}
+	if p.daemon != nil && p.daemon.Rendezvous != nil {
+		in.Replicas = p.daemon.Rendezvous.ReplicasView()
+	}
 	in.Types = p.reg.Paths()
 	return in
 }
@@ -515,7 +542,10 @@ func (p *Platform) AdminAddr() string {
 // health is the admin /health source: a seeded peer that holds no
 // rendezvous lease (what AwaitRendezvous would time out on) is
 // degraded; unseeded peers and rendezvous daemons are healthy while
-// running.
+// running. A peer whose event log is failing appends or fsyncs is
+// degraded with the I/O error as the reason — a dying disk becomes
+// visible here (and in tps_eventlog_io_errors_total) before it becomes
+// data loss. The log error is sticky until an append succeeds again.
 func (p *Platform) health() error {
 	net := p.peer.NetGroup()
 	if net == nil {
@@ -527,6 +557,11 @@ func (p *Platform) health() error {
 	}
 	if rdv.Seeded() && len(rdv.ConnectedRendezvous()) == 0 {
 		return errors.New("no rendezvous lease held")
+	}
+	if p.log != nil {
+		if err := p.log.Err(); err != nil {
+			return fmt.Errorf("event log failing: %w", err)
+		}
 	}
 	return nil
 }
