@@ -386,7 +386,7 @@ func TestCursorBehindRetentionSignalsGap(t *testing.T) {
 		t.Fatal(err)
 	}
 	gapCh := make(chan [2]uint64, 1)
-	sub.Rdv.SetReplayGapListener(func(_ jid.ID, topic string, gFirst, gLast uint64) {
+	sub.Rdv.SetReplayGapListener(func(_ jid.ID, topic string, gFirst, gLast uint64, _ bool) {
 		select {
 		case gapCh <- [2]uint64{gFirst, gLast}:
 		default:

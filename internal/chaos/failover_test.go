@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/tps-p2p/tps/internal/chaos"
+	"github.com/tps-p2p/tps/internal/eventlog"
 	"github.com/tps-p2p/tps/internal/jxta/jid"
 	"github.com/tps-p2p/tps/internal/jxta/rendezvous/replica"
 )
@@ -233,6 +234,121 @@ func TestAntiEntropyConvergesAfterPartition(t *testing.T) {
 		topicDir(t, filepath.Join(dir, "rdvA"), replica.TopicKey(rdvB.EP.PeerID(), chaos.GroupParam)))
 }
 
+// TestLaggingReplicaResetsPastRetentionGap partitions a replica away
+// long enough for the origin's retention to trim past the replica's
+// copied tail. After the heal, waiting for the trimmed bridge records
+// would re-pull the same batch every sync round forever; instead the
+// replica must detect the origin-side gap from the stamped retained
+// head, reset its copy, restart at the head, and still converge to
+// byte-identical segments — with the reset counted, not silent.
+func TestLaggingReplicaResetsPastRetentionGap(t *testing.T) {
+	dir := t.TempDir()
+	c := chaos.New(chaos.Config{
+		Seed:         35,
+		LogDir:       dir,
+		SyncInterval: 200 * time.Millisecond,
+		LogRetention: eventlog.Retention{SegmentBytes: 512, MaxBytes: 2048},
+	})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	pubA := add(c.AddEdge("pubA", "rdvA"))
+	if err := c.AwaitConnected(10*time.Second, "pubA"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the copy, then cut the replicas apart and stream enough into
+	// the origin that retention drops everything the copy holds.
+	const pre = 3
+	for i := 0; i < pre; i++ {
+		if err := pubA.Publish(svc, fmt.Sprintf("a-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), pre)
+	c.Partition([]string{"rdvA", "pubA"}, []string{"rdvB"})
+	const total = 40
+	for i := pre; i < total; i++ {
+		if err := pubA.Publish(svc, fmt.Sprintf("a-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitLogTail(t, rdvA, total)
+	first, last, ok := rdvA.Log.Range(chaos.GroupParam)
+	if !ok || first <= pre+1 {
+		t.Fatalf("origin retention never trimmed past the copy: range %d..%d ok=%v", first, last, ok)
+	}
+
+	c.Heal()
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), last)
+	if n := rdvB.Rdv.Snapshot().Counters["sync_resets"]; n < 1 {
+		t.Fatalf("sync_resets = %d, want >= 1 (the gap must be counted)", n)
+	}
+	key := replica.TopicKey(rdvA.EP.PeerID(), chaos.GroupParam)
+	if bFirst, bLast, ok := rdvB.Log.Range(key); !ok || bFirst != first || bLast != last {
+		t.Fatalf("copy range after reset = %d..%d ok=%v, want origin's %d..%d", bFirst, bLast, ok, first, last)
+	}
+	assertSegmentsIdentical(t,
+		topicDir(t, filepath.Join(dir, "rdvA"), chaos.GroupParam),
+		topicDir(t, filepath.Join(dir, "rdvB"), key))
+}
+
+// TestSyncRejectsNonReplicaPeer points a rogue replica at peers that do
+// not list it in their replica sets: a replicating rendezvous and a
+// plain durable one with replication off. Its digests must be dropped
+// (counted, not stored) on both — otherwise any peer could plant forged
+// history under a foreign origin's key, to be served to failover
+// clients as authoritative — while the configured set keeps syncing.
+func TestSyncRejectsNonReplicaPeer(t *testing.T) {
+	c := chaos.New(chaos.Config{Seed: 36, LogDir: t.TempDir(), SyncInterval: 150 * time.Millisecond})
+	add := adder(t)
+	defer c.Close()
+
+	rdvA := add(c.AddReplicaRendezvous("rdvA", []string{"rdvB"}))
+	rdvB := add(c.AddReplicaRendezvous("rdvB", []string{"rdvA"}))
+	rdvC := add(c.AddRendezvous("rdvC")) // durable, replication off
+	rogue := add(c.AddReplicaRendezvous("rogue", []string{"rdvA", "rdvC"}))
+	pubR := add(c.AddEdge("pubR", "rogue"))
+	pubA := add(c.AddEdge("pubA", "rdvA"))
+	if err := c.AwaitConnected(10*time.Second, "pubR", "pubA"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := pubR.Publish(svc, fmt.Sprintf("r-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := pubA.Publish(svc, fmt.Sprintf("a-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitLogTail(t, rogue, n)
+	awaitLogTail(t, rdvA, n)
+
+	// The configured set replicates; the rogue's digests bounce off both
+	// targets.
+	awaitCopyTail(t, rdvB, rdvA.EP.PeerID(), n)
+	waitFor(t, 15*time.Second, "rdvA rejects rogue sync ops", func() bool {
+		return rdvA.Rdv.Snapshot().Counters["sync_rejects"] >= 1
+	})
+	waitFor(t, 15*time.Second, "rdvC rejects rogue sync ops", func() bool {
+		return rdvC.Rdv.Snapshot().Counters["sync_rejects"] >= 1
+	})
+	rogueKey := replica.TopicKey(rogue.EP.PeerID(), chaos.GroupParam)
+	if _, _, ok := rdvA.Log.Range(rogueKey); ok {
+		t.Fatal("replicating rendezvous stored a copy of the rogue's stream")
+	}
+	if _, _, ok := rdvC.Log.Range(rogueKey); ok {
+		t.Fatal("replication-off rendezvous stored a copy of the rogue's stream")
+	}
+	if n := rdvA.Rdv.Snapshot().Counters["sync_applied"]; n != 0 {
+		t.Fatalf("rdvA applied %d sync records; only rdvB pulls in this topology", n)
+	}
+}
+
 // TestLaggingReplicaServesStaleSuffix replays against a replica whose
 // copy ends before the subscriber's cursor. The cursor proves those
 // entries were already delivered, so the replica must serve nothing and
@@ -253,7 +369,7 @@ func TestLaggingReplicaServesStaleSuffix(t *testing.T) {
 		t.Fatal(err)
 	}
 	gapCh := make(chan jid.ID, 1)
-	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, _, _ uint64) {
+	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, _, _ uint64, _ bool) {
 		select {
 		case gapCh <- origin:
 		default:
@@ -321,11 +437,12 @@ func TestDoubleKillSurfacesReplayGap(t *testing.T) {
 	type gap struct {
 		origin      jid.ID
 		first, last uint64
+		tentative   bool
 	}
 	gapCh := make(chan gap, 1)
-	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, first, last uint64) {
+	sub.Rdv.SetReplayGapListener(func(origin jid.ID, _ string, first, last uint64, tentative bool) {
 		select {
-		case gapCh <- gap{origin, first, last}:
+		case gapCh <- gap{origin, first, last, tentative}:
 		default:
 		}
 	})
@@ -359,6 +476,11 @@ func TestDoubleKillSurfacesReplayGap(t *testing.T) {
 		}
 		if g.first != 0 || g.last != 0 {
 			t.Fatalf("gap bounds %d..%d, want 0..0 (nothing retained)", g.first, g.last)
+		}
+		// The standby never completed a digest exchange (sync is off),
+		// so its loss verdict must be flagged provisional.
+		if !g.tentative {
+			t.Fatal("gap from a never-synced replica not marked tentative")
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("no gap signal after losing every replica of the range")

@@ -32,12 +32,21 @@ type ReplayGapError struct {
 	// First and Last bound what the rendezvous still retains; both zero
 	// when it retains nothing.
 	First, Last uint64
+	// Tentative is set when the signalling replica had not completed a
+	// first anti-entropy exchange with its replica set: the range looks
+	// lost from where it stands, but a replica it has not synced with
+	// yet may still hold it — treat as possible, not proven, loss.
+	Tentative bool
 }
 
 // Error implements error.
 func (e *ReplayGapError) Error() string {
-	return fmt.Sprintf("tps: replay gap on %s: events before seq %d no longer retained (have %d..%d)",
-		e.Path, e.First, e.First, e.Last)
+	qual := ""
+	if e.Tentative {
+		qual = " (tentative: replica not yet synced)"
+	}
+	return fmt.Sprintf("tps: replay gap on %s: events before seq %d no longer retained (have %d..%d)%s",
+		e.Path, e.First, e.First, e.Last, qual)
 }
 
 // maxPendingSeqs bounds the out-of-order set per origin. Entries beyond
@@ -158,9 +167,17 @@ func (a *attachment) syncReplay(e *Engine) {
 			selfAfter = st.seq
 		}
 		request(id, selfAfter)
-		for origin, st := range a.cursors {
-			if origin != id {
-				request(origin, st.seq)
+		// Foreign-origin cursors only matter after a failover: the
+		// standby serves the dead primary's stream from its replicated
+		// copy. In mesh mode (several independent durable rendezvous) a
+		// foreign cursor would only trigger the server's full-own-log
+		// fallback — entirely redundant with the self-origin request
+		// just sent — so fan them out in active/standby mode only.
+		if rdv.ActiveStandby() {
+			for origin, st := range a.cursors {
+				if origin != id {
+					request(origin, st.seq)
+				}
 			}
 		}
 		if sent {
@@ -247,8 +264,8 @@ func (e *Engine) CursorsView() []obs.CursorEntry {
 // next replay round asks from the retained range instead of re-pulling
 // the same suffix forever.
 func (e *Engine) onGapSignal(a *attachment) rendezvous.GapListener {
-	return func(origin jid.ID, topic string, first, last uint64) {
+	return func(origin jid.ID, topic string, first, last uint64, tentative bool) {
 		a.jumpCursor(origin, first)
-		e.subs.dispatchError(&ReplayGapError{Path: a.path, Topic: topic, First: first, Last: last})
+		e.subs.dispatchError(&ReplayGapError{Path: a.path, Topic: topic, First: first, Last: last, Tentative: tentative})
 	}
 }

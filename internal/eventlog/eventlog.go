@@ -693,6 +693,39 @@ func (l *Log) Read(topic string, after uint64, max int, fn func(Entry) error) er
 	return nil
 }
 
+// Reset discards every retained record of the topic and restarts its
+// numbering: the next AppendExact may begin at any sequence, exactly as
+// on a topic that never held anything. The anti-entropy import uses it
+// when the source's retention has trimmed past this copy's contiguous
+// tail — the bridge records no longer exist anywhere, so the copy
+// restarts at the source's retained head instead of waiting forever for
+// sequences that cannot arrive. Dropped records feed the truncated
+// counter. Resetting an unknown topic is a no-op.
+func (l *Log) Reset(topic string) (dropped int64, err error) {
+	t, err := l.getTopic(topic, false)
+	if err != nil || t == nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.active != nil {
+		_ = t.active.Close()
+		t.active = nil
+	}
+	for _, seg := range t.segs {
+		if seg.firstSeq > 0 && seg.lastSeq >= seg.firstSeq {
+			dropped += seg.entries()
+		}
+		_ = os.Remove(seg.path)
+	}
+	if dropped > 0 {
+		l.truncated.Add(dropped)
+	}
+	t.segs = nil
+	t.nextSeq = 1
+	return dropped, nil
+}
+
 // Range reports the topic's retained sequence range. ok is false when
 // the topic has no retained entries.
 func (l *Log) Range(topic string) (first, last uint64, ok bool) {

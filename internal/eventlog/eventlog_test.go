@@ -66,6 +66,37 @@ func TestAppendReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResetRestartsNumbering(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendN(t, l, "topic-a", 1, 5)
+	dropped, err := l.Reset("topic-a")
+	if err != nil || dropped != 5 {
+		t.Fatalf("Reset = (%d, %v), want 5 dropped", dropped, err)
+	}
+	if _, _, ok := l.Range("topic-a"); ok {
+		t.Fatal("reset topic still reports a retained range")
+	}
+	// The empty-topic escape hatch applies again: AppendExact may restart
+	// at any sequence, as on a copy re-seeded past a retention gap.
+	if err := l.AppendExact("topic-a", 40, 7, []byte("x")); err != nil {
+		t.Fatalf("AppendExact after Reset: %v", err)
+	}
+	if err := l.AppendExact("topic-a", 41, 8, []byte("y")); err != nil {
+		t.Fatalf("AppendExact 41: %v", err)
+	}
+	if first, last, ok := l.Range("topic-a"); !ok || first != 40 || last != 41 {
+		t.Fatalf("range after restart = %d..%d ok=%v, want 40..41", first, last, ok)
+	}
+	// Resetting a topic that never existed is a no-op.
+	if dropped, err := l.Reset("nope"); err != nil || dropped != 0 {
+		t.Fatalf("Reset(unknown) = (%d, %v)", dropped, err)
+	}
+}
+
 func TestTopicsAreIndependent(t *testing.T) {
 	l, err := Open(Config{Dir: t.TempDir()})
 	if err != nil {

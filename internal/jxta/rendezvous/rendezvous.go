@@ -217,6 +217,8 @@ type rdvCounters struct {
 	syncRecords    atomic.Int64 // records sent while serving pulls
 	syncApplied    atomic.Int64 // pulled records applied to local copies
 	syncDivergence atomic.Int64 // aligned segment ranges with mismatched CRCs
+	syncRejects    atomic.Int64 // sync ops dropped: sender not a replica seed
+	syncResets     atomic.Int64 // copies reset past an origin-side retention gap
 }
 
 type peerEntry struct {
@@ -364,6 +366,12 @@ func New(ep Endpoint, cfg Config) (*Service, error) {
 // Role returns the configured role.
 func (s *Service) Role() Role { return s.cfg.Role }
 
+// ActiveStandby reports whether this client runs the active/standby
+// failover seed mode. The engine's replay loop uses it to decide
+// whether foreign-origin cursors are worth presenting: only a failover
+// client ever re-homes to a replica serving a dead origin's copy.
+func (s *Service) ActiveStandby() bool { return s.cfg.ActiveStandby }
+
 // Seeded reports whether the service was configured with seed
 // rendezvous: unseeded peers never hold leases and rely on loopback
 // only.
@@ -495,6 +503,8 @@ func (s *Service) Snapshot() obs.Snapshot {
 			"sync_records":    s.stats.syncRecords.Load(),
 			"sync_applied":    s.stats.syncApplied.Load(),
 			"sync_divergence": s.stats.syncDivergence.Load(),
+			"sync_rejects":    s.stats.syncRejects.Load(),
+			"sync_resets":     s.stats.syncResets.Load(),
 		},
 		Gauges: map[string]float64{
 			"leases":        float64(leases),

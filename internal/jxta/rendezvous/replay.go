@@ -35,8 +35,13 @@ const (
 	// elemCursor is the requester's last-delivered sequence, decimal.
 	elemCursor = "Cursor"
 	// elemFirst / elemLast bound the retained range in a gap signal.
+	// elemFirst doubles as the server's retained head on sync records.
 	elemFirst = "First"
 	elemLast  = "Last"
+	// elemTentative marks a gap signal sent before the sender completed
+	// a first anti-entropy exchange: the range looks lost from here, but
+	// an unsynced replica may yet hold it.
+	elemTentative = "Tentative"
 )
 
 // Replay operations.
@@ -50,8 +55,11 @@ const (
 // retention, or the server's log restarted. origin is the rendezvous
 // that signalled; first and last bound what it still retains (both
 // zero when it retains nothing). Receivers should advance their cursor
-// for origin past the gap — those entries are unrecoverable.
-type GapListener func(origin jid.ID, topic string, first, last uint64)
+// for origin past the gap — those entries are unrecoverable. tentative
+// is set when the signalling replica had not completed a first
+// anti-entropy exchange, so its "nothing retained" verdict is
+// provisional rather than proof of loss.
+type GapListener func(origin jid.ID, topic string, first, last uint64, tentative bool)
 
 // SetReplayGapListener installs the callback for gap signals received
 // in response to this peer's replay requests. Pass nil to remove.
@@ -174,12 +182,23 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 			key = s.store.Key(origin, topic)
 		case len(s.cfg.ReplicaSeeds) > 0:
 			// We are in the origin's replica set but hold none of its
-			// stream: anti-entropy would have copied anything a replica
-			// retained, so the suffix past the cursor is gone for good.
-			// Say so instead of staying silent.
-			if cursor > 0 {
-				s.sendGap(from, param, topic, origin, 0, 0)
+			// stream.
+			if cursor == 0 {
+				return
 			}
+			if s.replicaAdvertises(origin, topic) {
+				// A replica we synced with still advertises the stream:
+				// nothing is lost, our copy just has not arrived yet.
+				// Serve nothing; when anti-entropy lands it, the records
+				// are mirrored live to our leased clients.
+				return
+			}
+			// No synced replica holds it either, so the suffix past the
+			// cursor is gone for good — say so instead of staying silent.
+			// Before the first digest exchange that verdict is only
+			// provisional (the copy may simply not have been pulled yet),
+			// which the signal's tentative flag reports honestly.
+			s.sendGap(from, param, topic, origin, 0, 0, !s.syncedOnce())
 			return
 		default:
 			// The cursor counts another peer's log (the subscriber
@@ -193,7 +212,7 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 	if !ok {
 		if cursor > 0 {
 			// The requester has history we do not: log restarted empty.
-			s.sendGap(from, param, topic, origin, 0, 0)
+			s.sendGap(from, param, topic, origin, 0, 0, false)
 		}
 		return
 	}
@@ -207,11 +226,11 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 		}
 		// Cursor outruns our own log: the numbering restarted (log
 		// state lost). Signal the discontinuity, then replay all.
-		s.sendGap(from, param, topic, origin, first, last)
+		s.sendGap(from, param, topic, origin, first, last, false)
 		cursor = 0
 	} else if cursor > 0 && cursor+1 < first {
 		// Retention dropped (cursor, first): explicit gap, not silence.
-		s.sendGap(from, param, topic, origin, first, last)
+		s.sendGap(from, param, topic, origin, first, last, false)
 	}
 	served := 0
 	_ = s.log.Read(key, cursor, 0, func(e eventlog.Entry) error {
@@ -226,16 +245,21 @@ func (s *Service) handleReplay(msg *message.Message, from endpoint.Address) {
 }
 
 // sendGap tells a requester that its cursor into origin's log predates
-// what is retained here, bounding what is still available.
-func (s *Service) sendGap(to endpoint.Address, param, topic string, origin jid.ID, first, last uint64) {
+// what is retained here, bounding what is still available. tentative
+// qualifies an unbounded gap from a replica that has not completed a
+// first anti-entropy exchange yet.
+func (s *Service) sendGap(to endpoint.Address, param, topic string, origin jid.ID, first, last uint64, tentative bool) {
 	s.stats.replayGaps.Add(1)
 	m := message.New(s.ep.PeerID())
-	m.Grow(5)
+	m.Grow(6)
 	m.AddString(elemNS, elemOp, opGap)
 	m.AddString(elemNS, elemTopic, topic)
 	m.AddID(elemNS, elemLogSrc, origin)
 	m.AddString(elemNS, elemFirst, strconv.FormatUint(first, 10))
 	m.AddString(elemNS, elemLast, strconv.FormatUint(last, 10))
+	if tentative {
+		m.AddString(elemNS, elemTentative, "true")
+	}
 	_ = s.ep.Send(to, ServiceName, param, m)
 }
 
@@ -252,11 +276,12 @@ func (s *Service) handleGap(msg *message.Message) {
 	}
 	first, _ := strconv.ParseUint(msg.Text(elemNS, elemFirst), 10, 64)
 	last, _ := strconv.ParseUint(msg.Text(elemNS, elemLast), 10, 64)
+	tentative := msg.Text(elemNS, elemTentative) == "true"
 	s.stats.replayGaps.Add(1)
 	s.gapMu.Lock()
 	fn := s.gapFn
 	s.gapMu.Unlock()
 	if fn != nil {
-		fn(origin, topic, first, last)
+		fn(origin, topic, first, last, tentative)
 	}
 }

@@ -258,21 +258,48 @@ func (st *Store) Digest() []TopicDigest {
 	return out
 }
 
+// Range reports the retained sequence range held for the stream.
+func (st *Store) Range(origin jid.ID, topic string) (first, last uint64, ok bool) {
+	return st.log.Range(st.key(origin, topic))
+}
+
 // Apply stores one pulled record of origin's stream. Records must
-// arrive in order: a non-contiguous sequence is skipped (applied=false,
-// no error) and the next digest round re-pulls from the contiguous
-// tail — at-least-once transfer, exactly-once application. Sequences at
-// or below the held tail are duplicates and likewise skipped.
-func (st *Store) Apply(origin jid.ID, topic string, seq uint64, timeMS int64, payload []byte) (applied bool, err error) {
+// arrive in order: a non-contiguous sequence is normally skipped
+// (applied=false, no error) and the next digest round re-pulls from the
+// contiguous tail — at-least-once transfer, exactly-once application.
+// Sequences at or below the held tail are duplicates and likewise
+// skipped.
+//
+// srcFirst is the first sequence the serving replica still retains for
+// the stream (0 when unknown). When it lies beyond this copy's next
+// sequence, the records bridging the copy's tail to srcFirst were
+// trimmed by retention on the serving side and can never arrive —
+// skipping would re-pull the same batch every sync round forever. The
+// copy is reset and restarted at the pulled record instead (reset=true,
+// for the caller's gap accounting), exactly as a fresh copy starts at
+// the source's retained head.
+func (st *Store) Apply(origin jid.ID, topic string, seq uint64, timeMS int64, payload []byte, srcFirst uint64) (applied, reset bool, err error) {
 	if origin == st.self {
 		// Our own log is authoritative; never let an echo rewrite it.
-		return false, nil
+		return false, false, nil
 	}
-	err = st.log.AppendExact(TopicKey(origin, topic), seq, timeMS, payload)
-	if errors.Is(err, eventlog.ErrOutOfOrder) {
-		return false, nil
+	key := TopicKey(origin, topic)
+	err = st.log.AppendExact(key, seq, timeMS, payload)
+	if !errors.Is(err, eventlog.ErrOutOfOrder) {
+		return err == nil, false, err
 	}
-	return err == nil, err
+	_, last, held := st.log.Range(key)
+	if !held || srcFirst <= last+1 || seq < srcFirst {
+		// Duplicate, or a transient reorder the next digest round
+		// re-pulls from the contiguous tail: skip without error.
+		return false, false, nil
+	}
+	// Retention gap on the serving side: nothing bridges (last, srcFirst).
+	if _, err = st.log.Reset(key); err != nil {
+		return false, false, err
+	}
+	err = st.log.AppendExact(key, seq, timeMS, payload)
+	return err == nil, true, err
 }
 
 // Read streams held records of the stream after the given sequence, up

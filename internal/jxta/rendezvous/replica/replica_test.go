@@ -128,20 +128,20 @@ func TestStoreApplyAndRead(t *testing.T) {
 
 	now := time.Now().UnixMilli()
 	for seq := uint64(1); seq <= 3; seq++ {
-		applied, err := st.Apply(origin, "news", seq, now, []byte{byte(seq)})
+		applied, _, err := st.Apply(origin, "news", seq, now, []byte{byte(seq)}, 0)
 		if err != nil || !applied {
 			t.Fatalf("Apply(%d) = (%v, %v), want applied", seq, applied, err)
 		}
 	}
 	// Duplicate and gapped sequences are skipped without error.
-	if applied, err := st.Apply(origin, "news", 2, now, []byte{2}); err != nil || applied {
+	if applied, _, err := st.Apply(origin, "news", 2, now, []byte{2}, 0); err != nil || applied {
 		t.Fatalf("duplicate Apply = (%v, %v), want skip", applied, err)
 	}
-	if applied, err := st.Apply(origin, "news", 9, now, []byte{9}); err != nil || applied {
+	if applied, _, err := st.Apply(origin, "news", 9, now, []byte{9}, 0); err != nil || applied {
 		t.Fatalf("gapped Apply = (%v, %v), want skip", applied, err)
 	}
 	// Echoes of our own stream never touch the authoritative log.
-	if applied, err := st.Apply(self, "news", 1, now, []byte{1}); err != nil || applied {
+	if applied, _, err := st.Apply(self, "news", 1, now, []byte{1}, 0); err != nil || applied {
 		t.Fatalf("self Apply = (%v, %v), want skip", applied, err)
 	}
 
@@ -167,10 +167,10 @@ func TestStoreApplyStartsAtRetentionHead(t *testing.T) {
 	// prefix starts at the source's retained head, not at 1.
 	st := NewStore(openLog(t), jid.FromSeed(jid.KindPeer, 1))
 	origin := jid.FromSeed(jid.KindPeer, 2)
-	if applied, err := st.Apply(origin, "news", 40, 0, []byte("x")); err != nil || !applied {
+	if applied, _, err := st.Apply(origin, "news", 40, 0, []byte("x"), 40); err != nil || !applied {
 		t.Fatalf("Apply(40) on empty copy = (%v, %v), want applied", applied, err)
 	}
-	if applied, err := st.Apply(origin, "news", 41, 0, []byte("y")); err != nil || !applied {
+	if applied, _, err := st.Apply(origin, "news", 41, 0, []byte("y"), 40); err != nil || !applied {
 		t.Fatalf("Apply(41) = (%v, %v), want applied", applied, err)
 	}
 	if first, last, ok := func() (uint64, uint64, bool) {
@@ -190,6 +190,42 @@ func TestStoreApplyStartsAtRetentionHead(t *testing.T) {
 	}
 }
 
+func TestStoreApplyResetsPastRetentionGap(t *testing.T) {
+	// The copy holds 1..3; the serving replica's retained head moved to
+	// 10. Without the stamped head the record is a transient reorder and
+	// is skipped; with it, the bridge records provably no longer exist,
+	// so the copy must reset and restart at the head instead of
+	// re-pulling the same batch forever.
+	st := NewStore(openLog(t), jid.FromSeed(jid.KindPeer, 1))
+	origin := jid.FromSeed(jid.KindPeer, 2)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if applied, _, err := st.Apply(origin, "news", seq, 0, []byte{byte(seq)}, 1); err != nil || !applied {
+			t.Fatalf("Apply(%d) = (%v, %v), want applied", seq, applied, err)
+		}
+	}
+	// No stamped head (0) or a head we still bridge (4): skip, no reset.
+	if applied, reset, err := st.Apply(origin, "news", 10, 0, []byte{10}, 0); err != nil || applied || reset {
+		t.Fatalf("unstamped gapped Apply = (%v, %v, %v), want skip", applied, reset, err)
+	}
+	if applied, reset, err := st.Apply(origin, "news", 10, 0, []byte{10}, 4); err != nil || applied || reset {
+		t.Fatalf("bridged-head Apply = (%v, %v, %v), want skip", applied, reset, err)
+	}
+	if last := st.Last(origin, "news"); last != 3 {
+		t.Fatalf("tail moved to %d on skipped applies, want 3", last)
+	}
+	// Head 10 > tail+1: authoritative retention gap — reset and restart.
+	applied, reset, err := st.Apply(origin, "news", 10, 0, []byte{10}, 10)
+	if err != nil || !applied || !reset {
+		t.Fatalf("gapped Apply = (%v, %v, %v), want applied+reset", applied, reset, err)
+	}
+	if applied, reset, err := st.Apply(origin, "news", 11, 0, []byte{11}, 10); err != nil || !applied || reset {
+		t.Fatalf("follow-up Apply = (%v, %v, %v), want applied, no reset", applied, reset, err)
+	}
+	if first, last, ok := st.Range(origin, "news"); !ok || first != 10 || last != 11 {
+		t.Fatalf("copy range after reset = [%d,%d] ok=%v, want [10,11]", first, last, ok)
+	}
+}
+
 func TestStoreDigestCoversOwnAndCopies(t *testing.T) {
 	self := jid.FromSeed(jid.KindPeer, 1)
 	origin := jid.FromSeed(jid.KindPeer, 2)
@@ -199,7 +235,7 @@ func TestStoreDigestCoversOwnAndCopies(t *testing.T) {
 	if _, err := log.Append("mine", func(uint64) ([]byte, error) { return []byte("a"), nil }); err != nil {
 		t.Fatalf("Append: %v", err)
 	}
-	if _, err := st.Apply(origin, "theirs", 1, 0, []byte("b")); err != nil {
+	if _, _, err := st.Apply(origin, "theirs", 1, 0, []byte("b"), 0); err != nil {
 		t.Fatalf("Apply: %v", err)
 	}
 
@@ -235,7 +271,7 @@ func TestConvergedCopiesShareChecksums(t *testing.T) {
 		}
 	}
 	err := a.Read(origin, "news", 0, 0, func(e eventlog.Entry) error {
-		_, err := b.Apply(origin, "news", e.Seq, e.TimeMS, e.Payload)
+		_, _, err := b.Apply(origin, "news", e.Seq, e.TimeMS, e.Payload, 1)
 		return err
 	})
 	if err != nil {

@@ -66,6 +66,56 @@ type replicaPeer struct {
 	remote   []replica.TopicDigest
 }
 
+// syncAuthorized gates every inbound anti-entropy op: only a rendezvous
+// that is itself replicating (configured with replica seeds) takes part,
+// and only messages from a configured replica seed's address are
+// honoured. Without the check any peer could durably plant forged
+// records under another origin's key on a plain durable rendezvous
+// ("replication off by default"), have them mirrored straight to its
+// leased clients, or dump its whole log through a pull. Rejections on a
+// durable rendezvous are counted; sync noise at peers with no log at
+// all is just dropped. The membership check also caps replState at the
+// seed-list size — only authorized senders ever reach the map.
+func (s *Service) syncAuthorized(from endpoint.Address) bool {
+	if s.store != nil && len(s.cfg.ReplicaSeeds) > 0 {
+		for _, a := range s.cfg.ReplicaSeeds {
+			if a == from {
+				return true
+			}
+		}
+	}
+	if s.store != nil {
+		s.stats.syncRejects.Add(1)
+	}
+	return false
+}
+
+// syncedOnce reports whether at least one anti-entropy digest exchange
+// has completed. Before the first exchange, "I hold nothing of that
+// origin" is evidence of not having synced yet, not of loss.
+func (s *Service) syncedOnce() bool {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return len(s.replState) > 0
+}
+
+// replicaAdvertises reports whether any synced replica's last digest
+// includes a non-empty stream of origin's for topic — proof the stream
+// survives in the replica set even if this peer's copy has not arrived
+// yet.
+func (s *Service) replicaAdvertises(origin jid.ID, topic string) bool {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	for _, st := range s.replState {
+		for _, d := range st.remote {
+			if d.Origin == origin && d.Topic == topic && d.Last > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // syncLoop drives the anti-entropy cadence.
 func (s *Service) syncLoop() {
 	defer s.wg.Done()
@@ -131,7 +181,7 @@ func (s *Service) sendDigestTo(addr endpoint.Address, enc []byte) {
 // ranges with mismatched checksums bump the divergence counter — the
 // verifiable-digest property.
 func (s *Service) handleSyncDigest(msg *message.Message, from endpoint.Address) {
-	if s.store == nil {
+	if !s.syncAuthorized(from) {
 		return
 	}
 	ds, err := replica.DecodeDigest(msg.Bytes(elemNS, elemDigest))
@@ -150,10 +200,51 @@ func (s *Service) handleSyncDigest(msg *message.Message, from endpoint.Address) 
 		if d.Origin == self {
 			continue // our own log is authoritative, never pulled
 		}
-		if local := s.store.Last(d.Origin, d.Topic); d.Last > local {
-			s.sendPull(from, d.Origin, d.Topic, local)
+		local := s.store.Last(d.Origin, d.Topic)
+		if d.Last <= local {
+			continue
+		}
+		// A non-empty copy whose tail fell below this replica's retained
+		// head can only converge by resetting — but if another synced
+		// replica still bridges our tail, pull there first and keep the
+		// copy gapless instead.
+		if local > 0 && digestFirst(d) > local+1 && s.bridgedElsewhere(from, d.Origin, d.Topic, local) {
+			continue
+		}
+		s.sendPull(from, d.Origin, d.Topic, local)
+	}
+}
+
+// digestFirst returns the first sequence a stream digest shows
+// retained, 0 for an empty stream.
+func digestFirst(d replica.TopicDigest) uint64 {
+	if len(d.Segments) == 0 {
+		return 0
+	}
+	return d.Segments[0].FirstSeq
+}
+
+// bridgedElsewhere reports whether a replica other than except
+// advertised records contiguous with our tail (retained head at or
+// below local+1 and entries beyond local): pulling from it extends the
+// copy without a retention-gap reset.
+func (s *Service) bridgedElsewhere(except endpoint.Address, origin jid.ID, topic string, local uint64) bool {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	for addr, st := range s.replState {
+		if addr == except {
+			continue
+		}
+		for _, d := range st.remote {
+			if d.Origin != origin || d.Topic != topic || d.Last <= local {
+				continue
+			}
+			if f := digestFirst(d); f > 0 && f <= local+1 {
+				return true
+			}
 		}
 	}
+	return false
 }
 
 // sendPull asks the replica at addr for origin's records of topic with
@@ -174,7 +265,7 @@ func (s *Service) sendPull(addr endpoint.Address, origin jid.ID, topic string, a
 // that is behind. A full batch means there may be more: the server
 // follows up with a fresh digest so the requester pulls the rest.
 func (s *Service) handleSyncPull(msg *message.Message, from endpoint.Address) {
-	if s.store == nil {
+	if !s.syncAuthorized(from) {
 		return
 	}
 	origin, err := msg.GetID(elemNS, elemLogSrc)
@@ -187,15 +278,24 @@ func (s *Service) handleSyncPull(msg *message.Message, from endpoint.Address) {
 	}
 	after, _ := strconv.ParseUint(msg.Text(elemNS, elemCursor), 10, 64)
 	s.stats.syncPulls.Add(1)
+	// Each record names our retained head for the stream, so a requester
+	// whose tail fell below it can tell an origin-side retention gap
+	// (reset and restart at the head) from a transient reorder (skip and
+	// re-pull).
+	srcFirst := strconv.FormatUint(func() uint64 {
+		first, _, _ := s.store.Range(origin, topic)
+		return first
+	}(), 10)
 	served := 0
 	_ = s.store.Read(origin, topic, after, syncPullBatch, func(e eventlog.Entry) error {
 		rec := message.New(s.ep.PeerID())
-		rec.Grow(6)
+		rec.Grow(7)
 		rec.AddString(elemNS, elemOp, opSyncRec)
 		rec.AddID(elemNS, elemLogSrc, origin)
 		rec.AddString(elemNS, elemTopic, topic)
 		rec.AddBytes(elemNS, elemSeq, seqBytes(e.Seq))
 		rec.AddString(elemNS, elemTime, strconv.FormatInt(e.TimeMS, 10))
+		rec.AddString(elemNS, elemFirst, srcFirst)
 		rec.AddBytes(elemNS, elemFrame, e.Payload)
 		if err := s.ep.Send(from, ServiceName, s.cfg.GroupParam, rec); err != nil {
 			s.stats.sendFailures.Add(1)
@@ -214,9 +314,13 @@ func (s *Service) handleSyncPull(msg *message.Message, from endpoint.Address) {
 // origin's stream and mirrors it live to any of our own leased clients
 // in that group — their seen caches drop anything already delivered.
 // Out-of-order arrivals are skipped (the next digest round re-pulls
-// from the contiguous tail), so application is exactly-once.
+// from the contiguous tail), so application is exactly-once — except
+// when the record's stamped retained head proves the sender trimmed
+// past our tail: then the copy is reset and restarted at the head (a
+// counted retention gap), because the bridge records no longer exist
+// anywhere and waiting would re-pull the same batch forever.
 func (s *Service) handleSyncRec(msg *message.Message, from endpoint.Address) {
-	if s.store == nil {
+	if !s.syncAuthorized(from) {
 		return
 	}
 	origin, err := msg.GetID(elemNS, elemLogSrc)
@@ -230,7 +334,11 @@ func (s *Service) handleSyncRec(msg *message.Message, from endpoint.Address) {
 		return
 	}
 	timeMS, _ := strconv.ParseInt(msg.Text(elemNS, elemTime), 10, 64)
-	applied, err := s.store.Apply(origin, topic, seq, timeMS, frame)
+	srcFirst, _ := strconv.ParseUint(msg.Text(elemNS, elemFirst), 10, 64)
+	applied, reset, err := s.store.Apply(origin, topic, seq, timeMS, frame, srcFirst)
+	if reset {
+		s.stats.syncResets.Add(1)
+	}
 	if err != nil {
 		s.stats.logFailures.Add(1)
 		return
@@ -240,7 +348,6 @@ func (s *Service) handleSyncRec(msg *message.Message, from endpoint.Address) {
 	}
 	s.stats.syncApplied.Add(1)
 	s.mirrorToClients(topic, frame)
-	_ = from
 }
 
 // mirrorToClients forwards a freshly replicated frame to this peer's
